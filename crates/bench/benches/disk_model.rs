@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks of the HP 97560 disk model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ddio_disk::{DiskModel, DiskParams, DiskRequest};
+use ddio_sim::SimTime;
+
+/// Sequential 8 KB reads: exercises the read-ahead / streak path.
+fn bench_sequential_reads(c: &mut Criterion) {
+    c.bench_function("disk/sequential_8k_reads", |b| {
+        b.iter(|| {
+            let mut m = DiskModel::new(DiskParams::hp_97560());
+            let mut now = SimTime::ZERO;
+            for i in 0..1000u64 {
+                let breakdown = m.service(DiskRequest::read(i * 16, 16), now);
+                now += breakdown.total;
+            }
+            now
+        });
+    });
+}
+
+/// Random 8 KB reads: exercises the seek + rotation path.
+fn bench_random_reads(c: &mut Criterion) {
+    c.bench_function("disk/random_8k_reads", |b| {
+        b.iter(|| {
+            let mut m = DiskModel::new(DiskParams::hp_97560());
+            let total_blocks = m.params().geometry.total_sectors() / 16;
+            let mut now = SimTime::ZERO;
+            for i in 0..1000u64 {
+                let lbn = (i * 104_729 + 7) % total_blocks;
+                let breakdown = m.service(DiskRequest::read(lbn * 16, 16), now);
+                now += breakdown.total;
+            }
+            now
+        });
+    });
+}
+
+/// Sequential writes, the write-behind path.
+fn bench_sequential_writes(c: &mut Criterion) {
+    c.bench_function("disk/sequential_8k_writes", |b| {
+        b.iter(|| {
+            let mut m = DiskModel::new(DiskParams::hp_97560());
+            let mut now = SimTime::ZERO;
+            for i in 0..1000u64 {
+                let breakdown = m.service(DiskRequest::write(i * 16, 16), now);
+                now += breakdown.total;
+            }
+            now
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sequential_reads,
+    bench_random_reads,
+    bench_sequential_writes
+);
+criterion_main!(benches);

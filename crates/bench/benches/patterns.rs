@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks of the access-pattern machinery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddio_patterns::{AccessPattern, PatternInstance};
+
+/// Per-CP chunk generation for a 10 MB file of 8 KB records.
+fn bench_chunks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("patterns/chunks_8k_records");
+    for name in ["rb", "rc", "rcc", "rcn"] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, name| {
+            let pattern = AccessPattern::parse(name).unwrap();
+            let inst = PatternInstance::new(pattern, 16, 1280, 8192);
+            b.iter(|| {
+                let mut total = 0u64;
+                for cp in 0..16 {
+                    total += inst.chunks_for_cp(cp).len() as u64;
+                }
+                total
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Per-block piece decomposition under the stressful 8-byte cyclic pattern.
+fn bench_pieces(c: &mut Criterion) {
+    c.bench_function("patterns/pieces_8_byte_cyclic_block", |b| {
+        let pattern = AccessPattern::parse("rcc").unwrap();
+        let inst = PatternInstance::new(pattern, 16, 1_310_720, 8);
+        b.iter(|| {
+            let mut total = 0usize;
+            for block in 0..16u64 {
+                total += inst.pieces_in(block * 8192, 8192).len();
+            }
+            total
+        });
+    });
+}
+
+criterion_group!(benches, bench_chunks, bench_pieces);
+criterion_main!(benches);

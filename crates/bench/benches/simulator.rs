@@ -1,0 +1,81 @@
+//! Criterion micro-benchmarks of the discrete-event simulation engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddio_sim::sync::{unbounded, Semaphore};
+use ddio_sim::{Sim, SimDuration};
+
+/// Thousands of interleaved sleeping tasks: measures raw event throughput.
+fn bench_timer_wheel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/timers");
+    for tasks in [100u64, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(tasks), &tasks, |b, &tasks| {
+            b.iter(|| {
+                let mut sim = Sim::new();
+                let ctx = sim.context();
+                for i in 0..tasks {
+                    let ctx = ctx.clone();
+                    sim.spawn(async move {
+                        for round in 0..10u64 {
+                            ctx.sleep(SimDuration::from_micros((i + round) % 17 + 1)).await;
+                        }
+                    });
+                }
+                sim.run()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// A producer/consumer pipeline over a channel: measures message handoff cost.
+fn bench_channel_pipeline(c: &mut Criterion) {
+    c.bench_function("simulator/channel_pipeline_10k", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new();
+            let ctx = sim.context();
+            let (tx, rx) = unbounded::<u64>();
+            sim.spawn(async move {
+                for i in 0..10_000u64 {
+                    tx.send(i).await.unwrap();
+                }
+            });
+            let ctx2 = ctx.clone();
+            sim.spawn(async move {
+                while let Some(_v) = rx.recv().await {
+                    ctx2.sleep(SimDuration::from_nanos(100)).await;
+                }
+            });
+            sim.run()
+        });
+    });
+}
+
+/// Contention on a semaphore: measures wake-up fairness machinery.
+fn bench_semaphore_contention(c: &mut Criterion) {
+    c.bench_function("simulator/semaphore_contention", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new();
+            let ctx = sim.context();
+            let sem = Semaphore::new(4);
+            for _ in 0..200 {
+                let sem = sem.clone();
+                let ctx = ctx.clone();
+                sim.spawn(async move {
+                    for _ in 0..20 {
+                        let _p = sem.acquire(1).await;
+                        ctx.sleep(SimDuration::from_micros(3)).await;
+                    }
+                });
+            }
+            sim.run()
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_timer_wheel,
+    bench_channel_pipeline,
+    bench_semaphore_contention
+);
+criterion_main!(benches);

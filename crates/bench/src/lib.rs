@@ -1,0 +1,100 @@
+//! `ddio-bench`: the figure-reproduction harness.
+//!
+//! One binary per exhibit of the paper's evaluation section (`table1`,
+//! `fig3` … `fig8`), plus Criterion micro-benchmarks of the simulator, disk
+//! model, and pattern generator.
+//!
+//! Every binary accepts the same scaling knobs through the environment so the
+//! full-fidelity (10 MB file, five trials) runs of the paper can be traded
+//! for quicker ones:
+//!
+//! | variable          | default | meaning                                   |
+//! |-------------------|---------|-------------------------------------------|
+//! | `DDIO_FILE_MB`    | `10`    | file size in MiB                          |
+//! | `DDIO_TRIALS`     | `5`     | independent trials per data point         |
+//! | `DDIO_SMALL_RECORDS` | `1`  | also run the 8-byte-record sweep (0 = skip) |
+//! | `DDIO_SEED`       | `1994`  | base random seed                          |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ddio_core::MachineConfig;
+
+/// Scaling knobs shared by all figure binaries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale {
+    /// File size in MiB.
+    pub file_mib: u64,
+    /// Independent trials per data point.
+    pub trials: usize,
+    /// Whether to run the 8-byte-record half of Figures 3 and 4.
+    pub small_records: bool,
+    /// Base random seed.
+    pub seed: u64,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale {
+            file_mib: 10,
+            trials: 5,
+            small_records: true,
+            seed: 1994,
+        }
+    }
+}
+
+impl Scale {
+    /// Reads the scaling knobs from the environment (see the crate docs).
+    pub fn from_env() -> Scale {
+        let mut s = Scale::default();
+        if let Some(v) = env_u64("DDIO_FILE_MB") {
+            s.file_mib = v.max(1);
+        }
+        if let Some(v) = env_u64("DDIO_TRIALS") {
+            s.trials = v.max(1) as usize;
+        }
+        if let Some(v) = env_u64("DDIO_SMALL_RECORDS") {
+            s.small_records = v != 0;
+        }
+        if let Some(v) = env_u64("DDIO_SEED") {
+            s.seed = v;
+        }
+        s
+    }
+
+    /// The Table 1 machine with this scale's file size.
+    pub fn base_config(&self) -> MachineConfig {
+        MachineConfig {
+            file_bytes: self.file_mib * 1024 * 1024,
+            ..MachineConfig::default()
+        }
+    }
+
+    /// A one-line description printed at the top of every table.
+    pub fn describe(&self) -> String {
+        format!(
+            "file = {} MiB, {} trial(s) per point, seed {} (paper: 10 MiB, 5 trials)",
+            self.file_mib, self.trials, self.seed
+        )
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_matches_the_paper() {
+        let s = Scale::default();
+        assert_eq!(s.file_mib, 10);
+        assert_eq!(s.trials, 5);
+        assert!(s.small_records);
+        assert_eq!(s.base_config().file_bytes, 10 * 1024 * 1024);
+        assert!(s.describe().contains("10 MiB"));
+    }
+}

@@ -1,0 +1,438 @@
+//! The per-IOP block cache used by the traditional-caching file system.
+//!
+//! From §4 of the paper: "Each IOP managed a cache that was large enough to
+//! double-buffer an independent stream of requests from each CP to each disk.
+//! The cache used an LRU-replacement strategy, prefetched one block ahead
+//! after each read request, and flushed dirty buffers to disk when they were
+//! full (i.e., after n bytes had been written to an n-byte buffer)."
+//!
+//! The cache here stores block *state*, not the data itself (the simulation
+//! carries descriptors, never user bytes). Concurrency is cooperative: an
+//! entry being fetched is in the `Filling` state and carries an event that
+//! other interested request threads wait on.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use ddio_sim::sync::Event;
+
+/// Why an entry is in the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillReason {
+    /// Fetched because a CP asked for it.
+    Demand,
+    /// Fetched by the one-block-ahead prefetcher.
+    Prefetch,
+    /// Created to receive incoming write data (no disk read needed).
+    WriteAllocate,
+}
+
+/// State of one cached block.
+#[derive(Debug, Clone)]
+pub enum EntryState {
+    /// A disk read for this block is in flight; waiters block on the event.
+    Filling(Event),
+    /// The block is resident.
+    Present,
+}
+
+/// A cached block's bookkeeping.
+#[derive(Debug)]
+pub struct CacheEntry {
+    /// File block number.
+    pub block: u64,
+    /// Fill / presence state.
+    pub state: EntryState,
+    /// Distinct bytes written into the block since its last flush.
+    pub written_bytes: u64,
+    /// True if the block has unwritten (dirty) data.
+    pub dirty: bool,
+    /// Number of request threads currently using the entry (pinned entries
+    /// are never evicted).
+    pub pins: u32,
+    /// LRU recency stamp (larger = more recent).
+    pub recency: u64,
+    /// Why the block was brought in.
+    pub reason: FillReason,
+}
+
+/// Outcome of a lookup.
+pub enum Lookup {
+    /// The block is resident (or being filled); the entry is pinned for the
+    /// caller.
+    Hit(Rc<std::cell::RefCell<CacheEntry>>),
+    /// The block is absent; the caller should call
+    /// [`BlockCache::insert_filling`] and fetch it.
+    Miss,
+}
+
+/// A block evicted to make room; if dirty the caller must flush it to disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// The evicted file block.
+    pub block: u64,
+    /// Whether the block still had unwritten data.
+    pub dirty: bool,
+    /// Bytes that had been written into it (for the flush request size).
+    pub written_bytes: u64,
+}
+
+/// Cumulative cache statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found the block present or filling.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Blocks brought in by the prefetcher.
+    pub prefetches: u64,
+    /// Evictions performed.
+    pub evictions: u64,
+    /// Evictions that had to flush dirty data first.
+    pub dirty_evictions: u64,
+    /// Times the cache had to exceed its configured capacity because every
+    /// entry was pinned or filling.
+    pub overflows: u64,
+}
+
+/// The LRU block cache.
+pub struct BlockCache {
+    capacity: usize,
+    entries: HashMap<u64, Rc<std::cell::RefCell<CacheEntry>>>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl BlockCache {
+    /// Creates a cache holding at most `capacity` blocks (soft limit; see
+    /// [`CacheStats::overflows`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be non-zero");
+        BlockCache {
+            capacity,
+            entries: HashMap::new(),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configured capacity in blocks.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of blocks currently cached (including ones being filled).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Returns true if `block` is resident or being filled (without touching
+    /// recency or stats) — used by the prefetcher to avoid duplicate fetches.
+    pub fn contains(&self, block: u64) -> bool {
+        self.entries.contains_key(&block)
+    }
+
+    /// Looks up `block`, updating recency and hit/miss statistics. On a hit
+    /// the entry is pinned; the caller must call [`BlockCache::unpin`] when
+    /// done with it.
+    pub fn lookup(&mut self, block: u64) -> Lookup {
+        self.tick += 1;
+        match self.entries.get(&block) {
+            Some(entry) => {
+                self.stats.hits += 1;
+                let mut e = entry.borrow_mut();
+                e.recency = self.tick;
+                e.pins += 1;
+                drop(e);
+                Lookup::Hit(Rc::clone(entry))
+            }
+            None => {
+                self.stats.misses += 1;
+                Lookup::Miss
+            }
+        }
+    }
+
+    /// Inserts a new entry in the `Filling` state (pinned), evicting the
+    /// least-recently-used unpinned block if the cache is full. The caller
+    /// receives the evicted block (if any) and must flush it if dirty, then
+    /// perform the disk read, then call [`BlockCache::mark_present`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is already cached.
+    pub fn insert_filling(
+        &mut self,
+        block: u64,
+        reason: FillReason,
+    ) -> (Rc<std::cell::RefCell<CacheEntry>>, Option<Evicted>) {
+        assert!(
+            !self.entries.contains_key(&block),
+            "block {block} already cached"
+        );
+        let evicted = self.make_room();
+        self.tick += 1;
+        if reason == FillReason::Prefetch {
+            self.stats.prefetches += 1;
+        }
+        let entry = Rc::new(std::cell::RefCell::new(CacheEntry {
+            block,
+            state: EntryState::Filling(Event::new()),
+            written_bytes: 0,
+            dirty: false,
+            pins: 1,
+            recency: self.tick,
+            reason,
+        }));
+        self.entries.insert(block, Rc::clone(&entry));
+        (entry, evicted)
+    }
+
+    /// Marks a `Filling` entry as resident and wakes every waiter.
+    pub fn mark_present(&mut self, block: u64) {
+        let entry = self
+            .entries
+            .get(&block)
+            .unwrap_or_else(|| panic!("mark_present on uncached block {block}"));
+        let mut e = entry.borrow_mut();
+        if let EntryState::Filling(event) = &e.state {
+            event.set();
+        }
+        e.state = EntryState::Present;
+    }
+
+    /// Unpins an entry previously returned by [`BlockCache::lookup`] or
+    /// [`BlockCache::insert_filling`].
+    pub fn unpin(&mut self, block: u64) {
+        if let Some(entry) = self.entries.get(&block) {
+            let mut e = entry.borrow_mut();
+            assert!(e.pins > 0, "unpin of unpinned block {block}");
+            e.pins -= 1;
+        }
+    }
+
+    /// Records `len` bytes written into `block`; returns the total distinct
+    /// bytes written so far (the caller flushes when this reaches the block's
+    /// valid size).
+    pub fn record_write(&mut self, block: u64, len: u64) -> u64 {
+        let entry = self
+            .entries
+            .get(&block)
+            .unwrap_or_else(|| panic!("record_write on uncached block {block}"));
+        let mut e = entry.borrow_mut();
+        e.written_bytes += len;
+        e.dirty = true;
+        e.written_bytes
+    }
+
+    /// Marks `block` clean again (after its dirty data reached the disk).
+    pub fn mark_clean(&mut self, block: u64) {
+        if let Some(entry) = self.entries.get(&block) {
+            let mut e = entry.borrow_mut();
+            e.dirty = false;
+            e.written_bytes = 0;
+        }
+    }
+
+    /// Removes `block` from the cache entirely (used after write-behind of a
+    /// full block, freeing the buffer immediately).
+    pub fn remove(&mut self, block: u64) {
+        self.entries.remove(&block);
+    }
+
+    /// Blocks that still hold unwritten (dirty) data, with their written byte
+    /// counts. Used by the end-of-transfer sync to flush partial blocks.
+    pub fn dirty_blocks(&self) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self
+            .entries
+            .values()
+            .filter_map(|e| {
+                let e = e.borrow();
+                e.dirty.then_some((e.block, e.written_bytes))
+            })
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Evicts the least-recently-used unpinned, non-filling entry if the
+    /// cache is at capacity. Returns what was evicted, or `None` if nothing
+    /// needed to be (or could be) evicted.
+    fn make_room(&mut self) -> Option<Evicted> {
+        if self.entries.len() < self.capacity {
+            return None;
+        }
+        let victim = self
+            .entries
+            .values()
+            .filter(|e| {
+                let e = e.borrow();
+                e.pins == 0 && matches!(e.state, EntryState::Present)
+            })
+            .min_by_key(|e| e.borrow().recency)
+            .map(|e| {
+                let e = e.borrow();
+                Evicted {
+                    block: e.block,
+                    dirty: e.dirty,
+                    written_bytes: e.written_bytes,
+                }
+            });
+        match victim {
+            Some(v) => {
+                self.entries.remove(&v.block);
+                self.stats.evictions += 1;
+                if v.dirty {
+                    self.stats.dirty_evictions += 1;
+                }
+                Some(v)
+            }
+            None => {
+                // Everything is pinned or in flight; allow a temporary
+                // overflow rather than deadlocking.
+                self.stats.overflows += 1;
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_miss_then_hit() {
+        let mut c = BlockCache::new(4);
+        assert!(matches!(c.lookup(7), Lookup::Miss));
+        let (_e, evicted) = c.insert_filling(7, FillReason::Demand);
+        assert!(evicted.is_none());
+        c.mark_present(7);
+        c.unpin(7);
+        match c.lookup(7) {
+            Lookup::Hit(e) => assert!(matches!(e.borrow().state, EntryState::Present)),
+            Lookup::Miss => panic!("expected hit"),
+        }
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_picks_the_oldest_unpinned_block() {
+        let mut c = BlockCache::new(2);
+        for b in [1u64, 2] {
+            let (_e, _) = c.insert_filling(b, FillReason::Demand);
+            c.mark_present(b);
+            c.unpin(b);
+        }
+        // Touch block 1 so block 2 becomes LRU.
+        if let Lookup::Hit(_) = c.lookup(1) {
+            c.unpin(1);
+        }
+        let (_e, evicted) = c.insert_filling(3, FillReason::Demand);
+        assert_eq!(
+            evicted,
+            Some(Evicted {
+                block: 2,
+                dirty: false,
+                written_bytes: 0
+            })
+        );
+        assert!(c.contains(1));
+        assert!(!c.contains(2));
+    }
+
+    #[test]
+    fn pinned_blocks_are_never_evicted() {
+        let mut c = BlockCache::new(1);
+        let (_e, _) = c.insert_filling(1, FillReason::Demand);
+        c.mark_present(1); // still pinned (never unpinned)
+        let (_e2, evicted) = c.insert_filling(2, FillReason::Demand);
+        assert!(evicted.is_none());
+        assert_eq!(c.len(), 2, "cache allowed a temporary overflow");
+        assert_eq!(c.stats().overflows, 1);
+    }
+
+    #[test]
+    fn dirty_blocks_report_dirty_on_eviction() {
+        let mut c = BlockCache::new(1);
+        let (_e, _) = c.insert_filling(5, FillReason::WriteAllocate);
+        c.mark_present(5);
+        c.record_write(5, 4096);
+        c.unpin(5);
+        let (_e2, evicted) = c.insert_filling(6, FillReason::Demand);
+        assert_eq!(
+            evicted,
+            Some(Evicted {
+                block: 5,
+                dirty: true,
+                written_bytes: 4096
+            })
+        );
+        assert_eq!(c.stats().dirty_evictions, 1);
+    }
+
+    #[test]
+    fn record_write_accumulates_until_full() {
+        let mut c = BlockCache::new(2);
+        let (_e, _) = c.insert_filling(9, FillReason::WriteAllocate);
+        c.mark_present(9);
+        assert_eq!(c.record_write(9, 4096), 4096);
+        assert_eq!(c.record_write(9, 4096), 8192);
+        c.mark_clean(9);
+        assert_eq!(c.record_write(9, 8), 8);
+        c.remove(9);
+        assert!(!c.contains(9));
+    }
+
+    #[test]
+    fn filling_entries_expose_their_event_to_waiters() {
+        let mut c = BlockCache::new(2);
+        let (entry, _) = c.insert_filling(3, FillReason::Demand);
+        let event = match &entry.borrow().state {
+            EntryState::Filling(ev) => ev.clone(),
+            EntryState::Present => panic!("should be filling"),
+        };
+        assert!(!event.is_set());
+        c.mark_present(3);
+        assert!(event.is_set());
+    }
+
+    #[test]
+    fn prefetch_insertions_are_counted() {
+        let mut c = BlockCache::new(4);
+        let (_e, _) = c.insert_filling(1, FillReason::Prefetch);
+        c.mark_present(1);
+        c.unpin(1);
+        assert_eq!(c.stats().prefetches, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already cached")]
+    fn double_insert_panics() {
+        let mut c = BlockCache::new(2);
+        let _ = c.insert_filling(1, FillReason::Demand);
+        let _ = c.insert_filling(1, FillReason::Demand);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be non-zero")]
+    fn zero_capacity_panics() {
+        let _ = BlockCache::new(0);
+    }
+}

@@ -1,0 +1,194 @@
+//! The user-facing collective-I/O API.
+//!
+//! This is the programming interface §2 of the paper argues for: instead of
+//! every CP issuing its own small reads, the application describes the whole
+//! distributed transfer once and the file system chooses how to move the
+//! data. The shape follows Galbreath et al.'s `PIFReadDistributedArray`.
+
+use ddio_patterns::AccessPattern;
+
+use crate::config::{MachineConfig, Method};
+use crate::machine::{run_transfer, TransferOutcome};
+
+/// Errors reported by the collective API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CollectiveError {
+    /// The pattern name is not one of the paper's patterns.
+    UnknownPattern(String),
+    /// The pattern direction does not match the call (e.g. a write pattern
+    /// passed to [`CollectiveFile::read_distributed`]).
+    DirectionMismatch {
+        /// The offending pattern.
+        pattern: String,
+        /// What the call expected.
+        expected: &'static str,
+    },
+    /// The record size does not divide the file size.
+    BadRecordSize {
+        /// The offending record size.
+        record_bytes: u64,
+        /// The file size it must divide.
+        file_bytes: u64,
+    },
+}
+
+impl std::fmt::Display for CollectiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CollectiveError::UnknownPattern(p) => write!(f, "unknown access pattern '{p}'"),
+            CollectiveError::DirectionMismatch { pattern, expected } => {
+                write!(f, "pattern '{pattern}' is not a {expected} pattern")
+            }
+            CollectiveError::BadRecordSize {
+                record_bytes,
+                file_bytes,
+            } => write!(
+                f,
+                "record size {record_bytes} does not divide the file size {file_bytes}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CollectiveError {}
+
+/// A file opened for collective access on a simulated machine.
+///
+/// # Example
+///
+/// ```
+/// use ddio_core::{CollectiveFile, MachineConfig, Method, LayoutPolicy};
+///
+/// let config = MachineConfig {
+///     n_cps: 4,
+///     n_iops: 4,
+///     n_disks: 4,
+///     file_bytes: 512 * 1024,
+///     layout: LayoutPolicy::Contiguous,
+///     ..MachineConfig::default()
+/// };
+/// let file = CollectiveFile::new(config);
+/// let outcome = file
+///     .read_distributed("rb", 8192, Method::DiskDirectedSorted, 1)
+///     .expect("valid request");
+/// assert!(outcome.throughput_mibs > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CollectiveFile {
+    config: MachineConfig,
+}
+
+impl CollectiveFile {
+    /// Opens a collective file on the described machine.
+    pub fn new(config: MachineConfig) -> Self {
+        config.validate();
+        CollectiveFile { config }
+    }
+
+    /// The machine configuration in use.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    fn check(
+        &self,
+        pattern_name: &str,
+        record_bytes: u64,
+        want_write: bool,
+    ) -> Result<AccessPattern, CollectiveError> {
+        let pattern = AccessPattern::parse(pattern_name)
+            .ok_or_else(|| CollectiveError::UnknownPattern(pattern_name.to_owned()))?;
+        if pattern.is_write() != want_write {
+            return Err(CollectiveError::DirectionMismatch {
+                pattern: pattern_name.to_owned(),
+                expected: if want_write { "write" } else { "read" },
+            });
+        }
+        if record_bytes == 0 || self.config.file_bytes % record_bytes != 0 {
+            return Err(CollectiveError::BadRecordSize {
+                record_bytes,
+                file_bytes: self.config.file_bytes,
+            });
+        }
+        Ok(pattern)
+    }
+
+    /// Collectively reads the file into the CP memories according to
+    /// `pattern_name` (e.g. `"rb"`, `"rcc"`, `"ra"`).
+    pub fn read_distributed(
+        &self,
+        pattern_name: &str,
+        record_bytes: u64,
+        method: Method,
+        seed: u64,
+    ) -> Result<TransferOutcome, CollectiveError> {
+        let pattern = self.check(pattern_name, record_bytes, false)?;
+        Ok(run_transfer(&self.config, method, pattern, record_bytes, seed))
+    }
+
+    /// Collectively writes the CP memories to the file according to
+    /// `pattern_name` (e.g. `"wb"`, `"wcc"`).
+    pub fn write_distributed(
+        &self,
+        pattern_name: &str,
+        record_bytes: u64,
+        method: Method,
+        seed: u64,
+    ) -> Result<TransferOutcome, CollectiveError> {
+        let pattern = self.check(pattern_name, record_bytes, true)?;
+        Ok(run_transfer(&self.config, method, pattern, record_bytes, seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LayoutPolicy;
+
+    fn small_file() -> CollectiveFile {
+        CollectiveFile::new(MachineConfig {
+            n_cps: 4,
+            n_iops: 2,
+            n_disks: 4,
+            file_bytes: 256 * 1024,
+            layout: LayoutPolicy::Contiguous,
+            verify: true,
+            ..MachineConfig::default()
+        })
+    }
+
+    #[test]
+    fn read_and_write_round_trip() {
+        let file = small_file();
+        let read = file
+            .read_distributed("rb", 8192, Method::DiskDirectedSorted, 3)
+            .expect("read works");
+        assert!(read.verify.as_ref().unwrap().complete, "{read:?}");
+        let write = file
+            .write_distributed("wb", 8192, Method::TraditionalCaching, 3)
+            .expect("write works");
+        assert!(write.verify.as_ref().unwrap().complete, "{write:?}");
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        let file = small_file();
+        assert!(matches!(
+            file.read_distributed("zz", 8192, Method::DiskDirected, 1),
+            Err(CollectiveError::UnknownPattern(_))
+        ));
+        assert!(matches!(
+            file.read_distributed("wb", 8192, Method::DiskDirected, 1),
+            Err(CollectiveError::DirectionMismatch { .. })
+        ));
+        assert!(matches!(
+            file.read_distributed("rb", 10_000, Method::DiskDirected, 1),
+            Err(CollectiveError::BadRecordSize { .. })
+        ));
+        // Errors format into readable messages.
+        let err = file
+            .read_distributed("zz", 8192, Method::DiskDirected, 1)
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown access pattern"));
+    }
+}

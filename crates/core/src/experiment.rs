@@ -1,0 +1,354 @@
+//! The experiment harness: multi-trial data points, pattern sweeps
+//! (Figures 3 and 4) and sensitivity sweeps (Figures 5-8), plus table
+//! formatting for the figure-reproduction binaries.
+
+use ddio_patterns::AccessPattern;
+use ddio_sim::stats::Summary;
+
+use crate::config::{LayoutPolicy, MachineConfig, Method};
+use crate::machine::{run_transfer, TransferOutcome};
+
+/// One data point: a (pattern, method, record size) cell averaged over
+/// several independent trials, exactly as in the paper's figures.
+#[derive(Debug, Clone)]
+pub struct DataPoint {
+    /// Pattern name in the paper's notation.
+    pub pattern: String,
+    /// File-system method.
+    pub method: Method,
+    /// Record size in bytes.
+    pub record_bytes: u64,
+    /// Disk layout used.
+    pub layout: LayoutPolicy,
+    /// Throughput (MiB/s, `ra` normalized per CP) of each trial.
+    pub trials: Vec<f64>,
+    /// Summary statistics over the trials.
+    pub summary: Summary,
+    /// The last trial's full outcome (for diagnostics).
+    pub last_outcome: TransferOutcome,
+}
+
+impl DataPoint {
+    /// Mean throughput in MiB/s.
+    pub fn mean(&self) -> f64 {
+        self.summary.mean
+    }
+
+    /// Coefficient of variation across trials.
+    pub fn cv(&self) -> f64 {
+        self.summary.cv()
+    }
+}
+
+/// Runs `trials` independent trials of one configuration and summarizes them.
+///
+/// Trial `i` uses seed `base_seed + i`, so a data point is fully reproducible.
+pub fn run_data_point(
+    config: &MachineConfig,
+    method: Method,
+    pattern: AccessPattern,
+    record_bytes: u64,
+    trials: usize,
+    base_seed: u64,
+) -> DataPoint {
+    assert!(trials > 0, "need at least one trial");
+    let mut throughputs = Vec::with_capacity(trials);
+    let mut last = None;
+    for t in 0..trials {
+        let outcome = run_transfer(config, method, pattern, record_bytes, base_seed + t as u64);
+        throughputs.push(outcome.throughput_mibs);
+        last = Some(outcome);
+    }
+    DataPoint {
+        pattern: pattern.name(),
+        method,
+        record_bytes,
+        layout: config.layout,
+        summary: Summary::of(&throughputs),
+        trials: throughputs,
+        last_outcome: last.expect("at least one trial ran"),
+    }
+}
+
+/// The pattern sweep behind Figures 3 and 4: every paper pattern, one record
+/// size, one layout, a set of methods.
+pub fn run_pattern_sweep(
+    base: &MachineConfig,
+    layout: LayoutPolicy,
+    record_bytes: u64,
+    methods: &[Method],
+    trials: usize,
+    base_seed: u64,
+) -> Vec<DataPoint> {
+    let config = MachineConfig {
+        layout,
+        ..base.clone()
+    };
+    let mut points = Vec::new();
+    for pattern in AccessPattern::paper_all_patterns() {
+        for &method in methods {
+            points.push(run_data_point(
+                &config,
+                method,
+                pattern,
+                record_bytes,
+                trials,
+                base_seed,
+            ));
+        }
+    }
+    points
+}
+
+/// Which machine parameter a sensitivity sweep varies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Vary {
+    /// Vary the number of compute processors (Figure 5).
+    Cps,
+    /// Vary the number of I/O processors and buses, disks fixed (Figure 6).
+    Iops,
+    /// Vary the number of disks on a single IOP (Figures 7 and 8).
+    Disks,
+}
+
+/// One point of a sensitivity sweep.
+#[derive(Debug, Clone)]
+pub struct SensitivityPoint {
+    /// The varied parameter's value.
+    pub value: usize,
+    /// Pattern name.
+    pub pattern: String,
+    /// File-system method.
+    pub method: Method,
+    /// Mean throughput and spread over the trials.
+    pub summary: Summary,
+    /// The hardware bandwidth limit for this configuration, in MiB/s
+    /// (the "Max bandwidth" line in Figures 5-8).
+    pub hardware_limit_mibs: f64,
+}
+
+/// Runs one of the paper's sensitivity experiments (Figures 5-8): patterns
+/// `ra rn rb rc` with 8 KB records, both methods, varying `vary` over
+/// `values`.
+pub fn run_sensitivity_sweep(
+    base: &MachineConfig,
+    vary: Vary,
+    values: &[usize],
+    methods: &[Method],
+    trials: usize,
+    base_seed: u64,
+) -> Vec<SensitivityPoint> {
+    let record_bytes = 8192;
+    let mut points = Vec::new();
+    for &value in values {
+        let config = apply_variation(base, vary, value);
+        for pattern in AccessPattern::sensitivity_patterns() {
+            for &method in methods {
+                let dp = run_data_point(&config, method, pattern, record_bytes, trials, base_seed);
+                points.push(SensitivityPoint {
+                    value,
+                    pattern: pattern.name(),
+                    method,
+                    summary: dp.summary.clone(),
+                    hardware_limit_mibs: config.hardware_limit() / (1024.0 * 1024.0),
+                });
+            }
+        }
+    }
+    points
+}
+
+/// Builds the configuration for one sensitivity point.
+pub fn apply_variation(base: &MachineConfig, vary: Vary, value: usize) -> MachineConfig {
+    let mut config = base.clone();
+    match vary {
+        Vary::Cps => config.n_cps = value,
+        Vary::Iops => config.n_iops = value,
+        Vary::Disks => config.n_disks = value,
+    }
+    config
+}
+
+/// Formats a pattern sweep as an aligned text table, one row per pattern and
+/// one column per method — the textual equivalent of Figures 3 and 4.
+pub fn format_pattern_table(points: &[DataPoint], title: &str) -> String {
+    let mut methods: Vec<Method> = Vec::new();
+    for p in points {
+        if !methods.contains(&p.method) {
+            methods.push(p.method);
+        }
+    }
+    let mut patterns: Vec<String> = Vec::new();
+    for p in points {
+        if !patterns.contains(&p.pattern) {
+            patterns.push(p.pattern.clone());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&format!("{:<9}", "pattern"));
+    for m in &methods {
+        out.push_str(&format!("{:>12}", m.label()));
+    }
+    out.push_str(&format!("{:>10}\n", "max cv"));
+    for pat in &patterns {
+        out.push_str(&format!("{pat:<9}"));
+        let mut max_cv: f64 = 0.0;
+        for m in &methods {
+            let cell = points
+                .iter()
+                .find(|p| &p.pattern == pat && p.method == *m)
+                .map(|p| {
+                    max_cv = max_cv.max(p.cv());
+                    format!("{:>12.2}", p.mean())
+                })
+                .unwrap_or_else(|| format!("{:>12}", "-"));
+            out.push_str(&cell);
+        }
+        out.push_str(&format!("{max_cv:>10.3}\n"));
+    }
+    out
+}
+
+/// Formats a sensitivity sweep as an aligned text table, one row per varied
+/// value — the textual equivalent of Figures 5-8.
+pub fn format_sensitivity_table(points: &[SensitivityPoint], title: &str) -> String {
+    let mut values: Vec<usize> = Vec::new();
+    let mut series: Vec<(Method, String)> = Vec::new();
+    for p in points {
+        if !values.contains(&p.value) {
+            values.push(p.value);
+        }
+        let key = (p.method, p.pattern.clone());
+        if !series.contains(&key) {
+            series.push(key);
+        }
+    }
+    values.sort_unstable();
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&format!("{:<8}{:>10}", "value", "max-bw"));
+    for (m, pat) in &series {
+        out.push_str(&format!("{:>14}", format!("{} {}", m.label(), pat)));
+    }
+    out.push('\n');
+    for v in &values {
+        let limit = points
+            .iter()
+            .find(|p| p.value == *v)
+            .map(|p| p.hardware_limit_mibs)
+            .unwrap_or(0.0);
+        out.push_str(&format!("{v:<8}{limit:>10.1}"));
+        for (m, pat) in &series {
+            let cell = points
+                .iter()
+                .find(|p| p.value == *v && p.method == *m && &p.pattern == pat)
+                .map(|p| format!("{:>14.2}", p.summary.mean))
+                .unwrap_or_else(|| format!("{:>14}", "-"));
+            out.push_str(&cell);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddio_sim::stats::Summary;
+
+    fn tiny_config() -> MachineConfig {
+        MachineConfig {
+            n_cps: 4,
+            n_iops: 4,
+            n_disks: 4,
+            file_bytes: 256 * 1024,
+            layout: LayoutPolicy::Contiguous,
+            verify: true,
+            ..MachineConfig::default()
+        }
+    }
+
+    #[test]
+    fn data_point_runs_multiple_trials_and_summarizes() {
+        let cfg = tiny_config();
+        let dp = run_data_point(
+            &cfg,
+            Method::DiskDirected,
+            AccessPattern::parse("rb").unwrap(),
+            8192,
+            3,
+            7,
+        );
+        assert_eq!(dp.trials.len(), 3);
+        assert!(dp.mean() > 0.0);
+        assert!(dp.cv() < 0.5);
+        assert!(dp.last_outcome.verify.as_ref().unwrap().complete);
+    }
+
+    #[test]
+    fn apply_variation_changes_the_right_knob() {
+        let base = tiny_config();
+        assert_eq!(apply_variation(&base, Vary::Cps, 2).n_cps, 2);
+        assert_eq!(apply_variation(&base, Vary::Iops, 2).n_iops, 2);
+        assert_eq!(apply_variation(&base, Vary::Disks, 8).n_disks, 8);
+    }
+
+    #[test]
+    fn pattern_table_formatting_includes_all_patterns_and_methods() {
+        let cfg = tiny_config();
+        let outcome = run_transfer(
+            &cfg,
+            Method::DiskDirected,
+            AccessPattern::parse("rb").unwrap(),
+            8192,
+            1,
+        );
+        let mk = |pattern: &str, method: Method, mean: f64| DataPoint {
+            pattern: pattern.to_owned(),
+            method,
+            record_bytes: 8192,
+            layout: LayoutPolicy::Contiguous,
+            trials: vec![mean],
+            summary: Summary::of(&[mean]),
+            last_outcome: outcome.clone(),
+        };
+        let points = vec![
+            mk("ra", Method::TraditionalCaching, 3.0),
+            mk("ra", Method::DiskDirected, 6.0),
+            mk("rb", Method::TraditionalCaching, 2.0),
+            mk("rb", Method::DiskDirected, 7.0),
+        ];
+        let table = format_pattern_table(&points, "test table");
+        assert!(table.contains("test table"));
+        assert!(table.contains("ra"));
+        assert!(table.contains("rb"));
+        assert!(table.contains("TC"));
+        assert!(table.contains("DDIO"));
+        assert!(table.contains("6.00"));
+    }
+
+    #[test]
+    fn sensitivity_table_orders_values() {
+        let mk = |value: usize, method: Method, pattern: &str, mean: f64| SensitivityPoint {
+            value,
+            pattern: pattern.to_owned(),
+            method,
+            summary: Summary::of(&[mean]),
+            hardware_limit_mibs: 37.5,
+        };
+        let points = vec![
+            mk(8, Method::DiskDirected, "ra", 30.0),
+            mk(2, Method::DiskDirected, "ra", 28.0),
+            mk(8, Method::TraditionalCaching, "ra", 20.0),
+            mk(2, Method::TraditionalCaching, "ra", 15.0),
+        ];
+        let table = format_sensitivity_table(&points, "sensitivity");
+        let idx2 = table.find("\n2 ").expect("row for 2");
+        let idx8 = table.find("\n8 ").expect("row for 8");
+        assert!(idx2 < idx8);
+        assert!(table.contains("37.5"));
+    }
+}

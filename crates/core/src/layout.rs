@@ -1,0 +1,272 @@
+//! File striping and on-disk placement.
+//!
+//! "Files were striped across all disks, block by block" (§4): file block `b`
+//! lives on disk `b mod n_disks`. Within each disk the file's blocks are
+//! placed either contiguously or at random physical block positions (§5).
+
+use ddio_sim::SimRng;
+
+use crate::config::{LayoutPolicy, MachineConfig};
+
+/// Physical location of one file block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockLocation {
+    /// The global disk index holding the block.
+    pub disk: usize,
+    /// The first sector of the block on that disk.
+    pub start_sector: u64,
+}
+
+/// The mapping from file blocks to physical disk blocks for one file.
+#[derive(Debug, Clone)]
+pub struct FileLayout {
+    block_bytes: u64,
+    file_bytes: u64,
+    n_disks: usize,
+    sectors_per_block: u64,
+    /// Indexed by file block number.
+    locations: Vec<BlockLocation>,
+}
+
+impl FileLayout {
+    /// Builds the layout for `config`, drawing physical positions from `rng`
+    /// (each disk gets an independent stream so varying the disk count does
+    /// not reshuffle the others).
+    pub fn generate(config: &MachineConfig, rng: &SimRng) -> FileLayout {
+        config.validate();
+        let n_blocks = config.n_blocks();
+        let n_disks = config.n_disks;
+        let sectors_per_block = config.sectors_per_block() as u64;
+        let disk_blocks = config.disk.geometry.capacity_bytes() / config.block_bytes;
+
+        // How many of the file's blocks land on each disk under round-robin
+        // striping.
+        let per_disk = |disk: usize| -> u64 {
+            let d = disk as u64;
+            if d < n_blocks % n_disks as u64 {
+                n_blocks / n_disks as u64 + 1
+            } else {
+                n_blocks / n_disks as u64
+            }
+        };
+
+        // Choose the physical block positions for each disk.
+        let mut per_disk_positions: Vec<Vec<u64>> = Vec::with_capacity(n_disks);
+        for disk in 0..n_disks {
+            let count = per_disk(disk);
+            let disk_rng = rng.derive(disk as u64);
+            let positions = match config.layout {
+                LayoutPolicy::Contiguous => {
+                    let max_start = disk_blocks - count;
+                    let start = if max_start == 0 {
+                        0
+                    } else {
+                        disk_rng.gen_range(max_start)
+                    };
+                    (0..count).map(|i| start + i).collect()
+                }
+                LayoutPolicy::RandomBlocks => {
+                    let mut chosen = std::collections::HashSet::with_capacity(count as usize);
+                    let mut positions = Vec::with_capacity(count as usize);
+                    while positions.len() < count as usize {
+                        let p = disk_rng.gen_range(disk_blocks);
+                        if chosen.insert(p) {
+                            positions.push(p);
+                        }
+                    }
+                    positions
+                }
+            };
+            per_disk_positions.push(positions);
+        }
+
+        // Assign positions to file blocks in stripe order.
+        let mut next_on_disk = vec![0usize; n_disks];
+        let mut locations = Vec::with_capacity(n_blocks as usize);
+        for block in 0..n_blocks {
+            let disk = (block % n_disks as u64) as usize;
+            let slot = next_on_disk[disk];
+            next_on_disk[disk] += 1;
+            let physical_block = per_disk_positions[disk][slot];
+            locations.push(BlockLocation {
+                disk,
+                start_sector: physical_block * sectors_per_block,
+            });
+        }
+
+        FileLayout {
+            block_bytes: config.block_bytes,
+            file_bytes: config.file_bytes,
+            n_disks,
+            sectors_per_block,
+            locations,
+        }
+    }
+
+    /// File-system block size in bytes.
+    pub fn block_bytes(&self) -> u64 {
+        self.block_bytes
+    }
+
+    /// File size in bytes.
+    pub fn file_bytes(&self) -> u64 {
+        self.file_bytes
+    }
+
+    /// Number of blocks in the file.
+    pub fn n_blocks(&self) -> u64 {
+        self.locations.len() as u64
+    }
+
+    /// Sectors per file-system block.
+    pub fn sectors_per_block(&self) -> u64 {
+        self.sectors_per_block
+    }
+
+    /// Number of disks the file is striped over.
+    pub fn n_disks(&self) -> usize {
+        self.n_disks
+    }
+
+    /// The disk holding file block `block`.
+    pub fn disk_of_block(&self, block: u64) -> usize {
+        self.location(block).disk
+    }
+
+    /// Physical location of file block `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is past the end of the file.
+    pub fn location(&self, block: u64) -> BlockLocation {
+        self.locations
+            .get(block as usize)
+            .copied()
+            .unwrap_or_else(|| panic!("file block {block} out of range"))
+    }
+
+    /// The file block containing byte `offset`.
+    pub fn block_of_offset(&self, offset: u64) -> u64 {
+        assert!(offset < self.file_bytes, "offset {offset} past end of file");
+        offset / self.block_bytes
+    }
+
+    /// Byte range `[start, end)` of the file covered by `block` (the last
+    /// block may be short).
+    pub fn block_byte_range(&self, block: u64) -> (u64, u64) {
+        let start = block * self.block_bytes;
+        let end = (start + self.block_bytes).min(self.file_bytes);
+        (start, end)
+    }
+
+    /// The file blocks stored on `disk`, in file order, with their physical
+    /// start sectors.
+    pub fn blocks_on_disk(&self, disk: usize) -> Vec<(u64, u64)> {
+        self.locations
+            .iter()
+            .enumerate()
+            .filter(|(_, loc)| loc.disk == disk)
+            .map(|(block, loc)| (block as u64, loc.start_sector))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    fn config(layout: LayoutPolicy) -> MachineConfig {
+        MachineConfig {
+            layout,
+            ..MachineConfig::default()
+        }
+    }
+
+    #[test]
+    fn striping_is_round_robin() {
+        let cfg = config(LayoutPolicy::Contiguous);
+        let layout = FileLayout::generate(&cfg, &SimRng::seed_from_u64(1));
+        assert_eq!(layout.n_blocks(), 1280);
+        for block in 0..layout.n_blocks() {
+            assert_eq!(layout.disk_of_block(block), (block % 16) as usize);
+        }
+        for disk in 0..16 {
+            assert_eq!(layout.blocks_on_disk(disk).len(), 80);
+        }
+    }
+
+    #[test]
+    fn contiguous_layout_is_physically_sequential_per_disk() {
+        let cfg = config(LayoutPolicy::Contiguous);
+        let layout = FileLayout::generate(&cfg, &SimRng::seed_from_u64(7));
+        for disk in 0..16 {
+            let blocks = layout.blocks_on_disk(disk);
+            for w in blocks.windows(2) {
+                assert_eq!(
+                    w[1].1,
+                    w[0].1 + layout.sectors_per_block(),
+                    "disk {disk} blocks not consecutive"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_layout_spreads_blocks_and_never_collides() {
+        let cfg = config(LayoutPolicy::RandomBlocks);
+        let layout = FileLayout::generate(&cfg, &SimRng::seed_from_u64(3));
+        for disk in 0..16 {
+            let blocks = layout.blocks_on_disk(disk);
+            let mut sectors: Vec<u64> = blocks.iter().map(|&(_, s)| s).collect();
+            sectors.sort_unstable();
+            sectors.dedup();
+            assert_eq!(sectors.len(), blocks.len(), "disk {disk} has colliding blocks");
+            // The spread should cover much more than the 80-block file extent.
+            let span = sectors.last().unwrap() - sectors.first().unwrap();
+            assert!(
+                span > 10 * 80 * layout.sectors_per_block(),
+                "disk {disk} random span suspiciously small ({span} sectors)"
+            );
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_layout_different_seed_changes_it() {
+        let cfg = config(LayoutPolicy::RandomBlocks);
+        let a = FileLayout::generate(&cfg, &SimRng::seed_from_u64(42));
+        let b = FileLayout::generate(&cfg, &SimRng::seed_from_u64(42));
+        let c = FileLayout::generate(&cfg, &SimRng::seed_from_u64(43));
+        let locs = |l: &FileLayout| (0..l.n_blocks()).map(|b| l.location(b)).collect::<Vec<_>>();
+        assert_eq!(locs(&a), locs(&b));
+        assert_ne!(locs(&a), locs(&c));
+    }
+
+    #[test]
+    fn block_byte_ranges_cover_the_file() {
+        let cfg = MachineConfig {
+            file_bytes: 100_000, // not a multiple of the block size
+            ..config(LayoutPolicy::Contiguous)
+        };
+        let layout = FileLayout::generate(&cfg, &SimRng::seed_from_u64(1));
+        assert_eq!(layout.n_blocks(), 13);
+        let mut covered = 0;
+        for b in 0..layout.n_blocks() {
+            let (s, e) = layout.block_byte_range(b);
+            assert_eq!(s, covered);
+            covered = e;
+        }
+        assert_eq!(covered, 100_000);
+        assert_eq!(layout.block_of_offset(0), 0);
+        assert_eq!(layout.block_of_offset(8192), 1);
+        assert_eq!(layout.block_of_offset(99_999), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_block_panics() {
+        let cfg = config(LayoutPolicy::Contiguous);
+        let layout = FileLayout::generate(&cfg, &SimRng::seed_from_u64(1));
+        layout.location(2000);
+    }
+}

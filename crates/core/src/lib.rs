@@ -1,0 +1,59 @@
+//! `ddio-core`: the parallel file system of Kotz's *Disk-Directed I/O for
+//! MIMD Multiprocessors* (OSDI 1994), reproduced in simulation.
+//!
+//! The crate contains both file-system designs the paper compares:
+//!
+//! * **Traditional caching** ([`Method::TraditionalCaching`]): each CP issues
+//!   one request per contiguous chunk of the file; IOPs run an LRU block
+//!   cache with one-block-ahead prefetch and write-behind.
+//! * **Disk-directed I/O** ([`Method::DiskDirected`] /
+//!   [`Method::DiskDirectedSorted`]): the CPs issue a single collective
+//!   request; each IOP derives its own block list, optionally presorts it by
+//!   physical location, and streams data directly between its disks and the
+//!   CP memories with Memput/Memget messages and two buffers per disk.
+//!
+//! On top sit the striped-file layout machinery ([`FileLayout`],
+//! [`LayoutPolicy`]), the user-facing collective API ([`CollectiveFile`]),
+//! the single-transfer runner ([`run_transfer`]), and the experiment harness
+//! ([`experiment`]) that regenerates the paper's figures.
+//!
+//! # Quick start
+//!
+//! ```
+//! use ddio_core::{run_transfer, MachineConfig, Method, LayoutPolicy};
+//! use ddio_patterns::AccessPattern;
+//!
+//! let config = MachineConfig {
+//!     file_bytes: 1024 * 1024, // 1 MiB keeps the doctest fast
+//!     layout: LayoutPolicy::Contiguous,
+//!     ..MachineConfig::default()
+//! };
+//! let pattern = AccessPattern::parse("rb").unwrap();
+//! let ddio = run_transfer(&config, Method::DiskDirectedSorted, pattern, 8192, 1);
+//! let tc = run_transfer(&config, Method::TraditionalCaching, pattern, 8192, 1);
+//! assert!(ddio.throughput_mibs > tc.throughput_mibs * 0.9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+mod collective;
+mod config;
+mod ddio;
+pub mod experiment;
+mod layout;
+mod machine;
+mod msg;
+mod tc;
+mod util;
+
+pub use collective::{CollectiveError, CollectiveFile};
+pub use config::{CostModel, LayoutPolicy, MachineConfig, Method};
+pub use layout::{BlockLocation, FileLayout};
+pub use machine::{run_transfer, TransferOutcome, VerifyReport};
+pub use msg::FsMessage;
+pub use util::{IntervalSet, PendingCounter};
+
+// Re-export the pattern vocabulary so downstream users need only one import.
+pub use ddio_patterns::{AccessKind, AccessPattern, ArrayShape, Chunk, Dist, PatternInstance};

@@ -1,0 +1,329 @@
+//! Assembly of the simulated machine and the top-level transfer runner.
+//!
+//! [`run_transfer`] builds one simulated machine (CPs, IOPs, disks, buses,
+//! interconnect) per the configuration, runs a single collective transfer with
+//! the chosen file system, and reports the elapsed simulated time and
+//! throughput — one data point of one trial in the paper's figures.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ddio_disk::{spawn_disk, DiskHandle, DiskStats, ScsiBus};
+use ddio_net::{Envelope, Network, Torus};
+use ddio_patterns::{AccessPattern, PatternInstance};
+use ddio_sim::stats::throughput_mibs;
+use ddio_sim::sync::{Receiver, Resource};
+use ddio_sim::{Sim, SimDuration, SimRng};
+
+use crate::config::{MachineConfig, Method};
+use crate::ddio;
+use crate::layout::FileLayout;
+use crate::msg::FsMessage;
+use crate::tc;
+use crate::util::IntervalSet;
+
+/// Inbox type used by every node.
+pub(crate) type Inbox = Receiver<Envelope<FsMessage>>;
+
+/// Per-CP simulation state shared with the file-system implementations.
+pub(crate) struct CpParts {
+    /// CP index.
+    pub cp: usize,
+    /// Network node id.
+    pub node: usize,
+    /// The CP's processor (requests, replies and Memget service consume it).
+    pub cpu: Resource,
+}
+
+/// Per-IOP simulation state shared with the file-system implementations.
+pub(crate) struct IopParts {
+    /// IOP index.
+    pub iop: usize,
+    /// Network node id.
+    pub node: usize,
+    /// The IOP's processor.
+    pub cpu: Resource,
+    /// The IOP's SCSI bus (shared by all of its disks).
+    pub bus: ScsiBus,
+    /// The IOP's disks as (global disk index, handle).
+    pub disks: Vec<(usize, DiskHandle)>,
+}
+
+/// Data-placement tracking used by the `verify` mode.
+pub(crate) struct VerifyState {
+    /// For reads: the byte ranges each CP's local buffer has received.
+    pub cp_mem: Vec<IntervalSet>,
+    /// For writes: the byte ranges of the file that reached a disk.
+    pub file_written: IntervalSet,
+}
+
+/// Everything the file-system implementations need to know about the run.
+pub(crate) struct RunContext {
+    /// The machine configuration.
+    pub config: Rc<MachineConfig>,
+    /// The bound access pattern.
+    pub pattern: PatternInstance,
+    /// The file's physical layout.
+    pub layout: Rc<FileLayout>,
+    /// The interconnect.
+    pub net: Network<FsMessage>,
+    /// Optional data-placement tracking.
+    pub verify: Option<Rc<RefCell<VerifyState>>>,
+}
+
+impl RunContext {
+    /// Records that CP `cp` received (or supplied) its local buffer bytes
+    /// `[mem_offset, mem_offset + len)`.
+    pub fn record_cp_bytes(&self, cp: usize, mem_offset: u64, len: u64) {
+        if let Some(v) = &self.verify {
+            v.borrow_mut().cp_mem[cp].add(mem_offset, len);
+        }
+    }
+
+    /// Records that file bytes `[file_offset, file_offset + len)` reached a
+    /// disk.
+    pub fn record_file_bytes(&self, file_offset: u64, len: u64) {
+        if let Some(v) = &self.verify {
+            v.borrow_mut().file_written.add(file_offset, len);
+        }
+    }
+}
+
+/// The result of verifying data placement after a transfer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// True if every expected byte was covered exactly once.
+    pub complete: bool,
+    /// Human-readable description of any problem found.
+    pub detail: String,
+}
+
+/// The outcome of one simulated transfer (one trial of one data point).
+#[derive(Debug, Clone)]
+pub struct TransferOutcome {
+    /// The file-system method used.
+    pub method: Method,
+    /// The pattern name (paper notation).
+    pub pattern: String,
+    /// Record size in bytes.
+    pub record_bytes: u64,
+    /// Elapsed simulated time for the whole collective transfer, including
+    /// all write-behind and prefetch activity.
+    pub elapsed: SimDuration,
+    /// File size in bytes.
+    pub file_bytes: u64,
+    /// Total bytes deposited in (or gathered from) CP memories; equals the
+    /// file size except for `ra`, where it is `n_cps` times larger.
+    pub transferred_bytes: u64,
+    /// Throughput as plotted in the paper: file size / elapsed time, which
+    /// equals per-CP-normalized throughput for `ra`.
+    pub throughput_mibs: f64,
+    /// Aggregate throughput: transferred bytes / elapsed time.
+    pub aggregate_mibs: f64,
+    /// Number of messages that crossed the interconnect.
+    pub messages: u64,
+    /// Bytes that crossed the interconnect.
+    pub network_bytes: u64,
+    /// Per-disk statistics.
+    pub disk_stats: Vec<DiskStats>,
+    /// Per-IOP bus utilization over each bus's active window.
+    pub bus_utilization: Vec<f64>,
+    /// Data-placement verification (present only when `config.verify`).
+    pub verify: Option<VerifyReport>,
+}
+
+impl TransferOutcome {
+    /// Fraction of requests across all disks that were sequential-streak /
+    /// read-ahead hits — a useful diagnostic for layout effects.
+    pub fn disk_sequential_fraction(&self) -> f64 {
+        let total: u64 = self.disk_stats.iter().map(|s| s.requests).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let hits: u64 = self.disk_stats.iter().map(|s| s.sequential_hits).sum();
+        hits as f64 / total as f64
+    }
+}
+
+/// Runs one collective transfer and returns its outcome.
+///
+/// `seed` controls the random disk layout (and any other randomness); the
+/// same seed always reproduces the same result.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or the record size does not divide
+/// the file size.
+pub fn run_transfer(
+    config: &MachineConfig,
+    method: Method,
+    pattern: AccessPattern,
+    record_bytes: u64,
+    seed: u64,
+) -> TransferOutcome {
+    config.validate();
+    assert!(
+        config.file_bytes % record_bytes == 0,
+        "record size {record_bytes} does not divide the file size {}",
+        config.file_bytes
+    );
+    let n_records = config.file_bytes / record_bytes;
+    let pattern_instance = PatternInstance::new(pattern, config.n_cps, n_records, record_bytes);
+
+    let rng = SimRng::seed_from_u64(seed);
+    let layout = Rc::new(FileLayout::generate(config, &rng.derive(0xD15C)));
+
+    let mut sim = Sim::new();
+    let ctx = sim.context();
+
+    // Interconnect: CPs occupy nodes [0, n_cps), IOPs the next n_iops nodes.
+    let (net, mut inboxes) = Network::<FsMessage>::new(
+        ctx.clone(),
+        Torus::fitting(config.n_nodes()),
+        config.net,
+        config.n_nodes(),
+    );
+
+    let verify = config.verify.then(|| {
+        Rc::new(RefCell::new(VerifyState {
+            cp_mem: vec![IntervalSet::new(); config.n_cps],
+            file_written: IntervalSet::new(),
+        }))
+    });
+
+    let run = Rc::new(RunContext {
+        config: Rc::new(config.clone()),
+        pattern: pattern_instance,
+        layout: Rc::clone(&layout),
+        net: net.clone(),
+        verify,
+    });
+
+    // Build the CPs.
+    let mut cp_inboxes = Vec::with_capacity(config.n_cps);
+    let mut cps = Vec::with_capacity(config.n_cps);
+    for cp in 0..config.n_cps {
+        cp_inboxes.push(inboxes.remove(0));
+        cps.push(Rc::new(CpParts {
+            cp,
+            node: config.cp_node(cp),
+            cpu: Resource::new(ctx.clone(), &format!("cp{cp}.cpu"), 1),
+        }));
+    }
+
+    // Build the IOPs with their buses and disks.
+    let mut iop_inboxes = Vec::with_capacity(config.n_iops);
+    let mut iops = Vec::with_capacity(config.n_iops);
+    for iop in 0..config.n_iops {
+        iop_inboxes.push(inboxes.remove(0));
+        let bus = ScsiBus::with_bandwidth(
+            ctx.clone(),
+            &format!("iop{iop}.bus"),
+            config.bus_bytes_per_sec,
+            config.bus_arbitration,
+        );
+        let disks = config
+            .disks_of_iop(iop)
+            .map(|disk| (disk, spawn_disk(&ctx, disk, config.disk)))
+            .collect();
+        iops.push(Rc::new(IopParts {
+            iop,
+            node: config.iop_node(iop),
+            cpu: Resource::new(ctx.clone(), &format!("iop{iop}.cpu"), 1),
+            bus,
+            disks,
+        }));
+    }
+
+    match method {
+        Method::TraditionalCaching => {
+            tc::spawn_transfer(&mut sim, &ctx, &run, &cps, &iops, cp_inboxes, iop_inboxes);
+        }
+        Method::DiskDirected | Method::DiskDirectedSorted => {
+            let presort = method == Method::DiskDirectedSorted;
+            ddio::spawn_transfer(
+                &mut sim,
+                &ctx,
+                &run,
+                &cps,
+                &iops,
+                cp_inboxes,
+                iop_inboxes,
+                presort,
+            );
+        }
+    }
+
+    let end = sim.run();
+    let elapsed = end.duration_since(ddio_sim::SimTime::ZERO);
+
+    let disk_stats: Vec<DiskStats> = iops
+        .iter()
+        .flat_map(|iop| iop.disks.iter().map(|(_, d)| d.stats()))
+        .collect();
+    let bus_utilization = iops.iter().map(|iop| iop.bus.utilization()).collect();
+
+    let verify_report = run.verify.as_ref().map(|v| {
+        let v = v.borrow();
+        verify_transfer(&run.pattern, &v)
+    });
+
+    let transferred_bytes = run.pattern.total_transfer_bytes();
+    TransferOutcome {
+        method,
+        pattern: pattern.name(),
+        record_bytes,
+        elapsed,
+        file_bytes: config.file_bytes,
+        transferred_bytes,
+        throughput_mibs: throughput_mibs(config.file_bytes, elapsed),
+        aggregate_mibs: throughput_mibs(transferred_bytes, elapsed),
+        messages: net.messages_sent(),
+        network_bytes: net.bytes_sent(),
+        disk_stats,
+        bus_utilization,
+        verify: verify_report,
+    }
+}
+
+/// Checks data placement: for reads every CP buffer must be covered exactly
+/// once; for writes every file byte must have reached a disk exactly once.
+fn verify_transfer(pattern: &PatternInstance, v: &VerifyState) -> VerifyReport {
+    if pattern.is_write() {
+        if v.file_written.covers_exactly(pattern.file_bytes()) {
+            VerifyReport {
+                complete: true,
+                detail: "every file byte written exactly once".to_owned(),
+            }
+        } else {
+            VerifyReport {
+                complete: false,
+                detail: format!(
+                    "file coverage {} of {} bytes (overlap: {})",
+                    v.file_written.covered_bytes(),
+                    pattern.file_bytes(),
+                    v.file_written.has_overlap()
+                ),
+            }
+        }
+    } else {
+        for cp in 0..pattern.n_cps() {
+            let expected = pattern.cp_bytes(cp);
+            if !v.cp_mem[cp].covers_exactly(expected) {
+                return VerifyReport {
+                    complete: false,
+                    detail: format!(
+                        "CP {cp} buffer coverage {} of {expected} bytes (overlap: {})",
+                        v.cp_mem[cp].covered_bytes(),
+                        v.cp_mem[cp].has_overlap()
+                    ),
+                };
+            }
+        }
+        VerifyReport {
+            complete: true,
+            detail: "every CP buffer filled exactly once".to_owned(),
+        }
+    }
+}
+

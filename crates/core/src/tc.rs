@@ -1,0 +1,470 @@
+//! The traditional-caching parallel file system (the paper's baseline).
+//!
+//! Follows the pseudo-code of Figure 1a and the description in §4:
+//!
+//! * CPs do not cache; each contiguous chunk of the file a CP needs becomes
+//!   one request (split at file-system block boundaries), with at most one
+//!   outstanding request per disk per CP.
+//! * Each incoming request at an IOP is handled by a new thread: cache
+//!   lookup, disk read on a miss, one-block-ahead prefetch, and a reply that
+//!   carries the data. Write requests carry data to the IOP, which copies it
+//!   into a cache buffer and flushes the block once it is entirely written
+//!   (write-behind).
+//! * The measured transfer ends only when all write-behind and prefetch
+//!   activity has drained (the CPs issue an explicit sync at the end).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use ddio_disk::DiskRequest;
+use ddio_patterns::AccessKind;
+use ddio_sim::sync::{oneshot, Barrier, CountdownEvent};
+use ddio_sim::{Sim, SimContext};
+
+use crate::cache::{BlockCache, EntryState, FillReason, Lookup};
+use crate::machine::{CpParts, Inbox, IopParts, RunContext};
+use crate::msg::FsMessage;
+use crate::util::PendingCounter;
+
+/// A chunk split at block boundaries: the unit of one CP request.
+#[derive(Debug, Clone, Copy)]
+struct SubRequest {
+    block: u64,
+    offset: u32,
+    len: u32,
+    mem_offset: u64,
+}
+
+/// Splits a CP's chunks into per-block sub-requests.
+fn split_chunks(run: &RunContext, cp: usize) -> Vec<SubRequest> {
+    let block_bytes = run.layout.block_bytes();
+    let mut subs = Vec::new();
+    for chunk in run.pattern.chunks_for_cp(cp) {
+        let mut file_off = chunk.file_offset;
+        let mut mem_off = chunk.mem_offset;
+        let mut remaining = chunk.bytes;
+        while remaining > 0 {
+            let block = file_off / block_bytes;
+            let within = file_off % block_bytes;
+            let len = remaining.min(block_bytes - within);
+            subs.push(SubRequest {
+                block,
+                offset: within as u32,
+                len: len as u32,
+                mem_offset: mem_off,
+            });
+            file_off += len;
+            mem_off += len;
+            remaining -= len;
+        }
+    }
+    subs
+}
+
+/// Per-IOP server state.
+struct IopServer {
+    parts: Rc<IopParts>,
+    run: Rc<RunContext>,
+    cache: RefCell<BlockCache>,
+    /// Outstanding background work (prefetches and write-behind flushes).
+    background: PendingCounter,
+}
+
+impl IopServer {
+    /// Valid bytes of a (possibly final, short) block.
+    fn block_bytes(&self, block: u64) -> u64 {
+        let (s, e) = self.run.layout.block_byte_range(block);
+        e - s
+    }
+
+    fn disk_handle(&self, disk: usize) -> &ddio_disk::DiskHandle {
+        self.parts
+            .disks
+            .iter()
+            .find(|(d, _)| *d == disk)
+            .map(|(_, h)| h)
+            .unwrap_or_else(|| panic!("IOP {} asked for foreign disk {disk}", self.parts.iop))
+    }
+
+    /// Reads `block` from its disk into an IOP cache buffer (drive + bus).
+    async fn fetch_block(&self, block: u64) {
+        let loc = self.run.layout.location(block);
+        let bytes = self.block_bytes(block);
+        let sectors = bytes.div_ceil(self.run.config.disk.geometry.bytes_per_sector as u64) as u32;
+        let disk = self.disk_handle(loc.disk);
+        disk.io(DiskRequest::read(loc.start_sector, sectors)).await;
+        self.parts.bus.transfer(bytes).await;
+    }
+
+    /// Writes `bytes` of `block` from the cache buffer back to its disk.
+    async fn flush_block(&self, block: u64, bytes: u64) {
+        let loc = self.run.layout.location(block);
+        let sectors = bytes.div_ceil(self.run.config.disk.geometry.bytes_per_sector as u64) as u32;
+        self.parts.bus.transfer(bytes).await;
+        let disk = self.disk_handle(loc.disk);
+        disk.io(DiskRequest::write(loc.start_sector, sectors)).await;
+    }
+
+    /// Ensures `block` is resident (waiting on a fill in progress, or reading
+    /// it from disk), leaving it pinned. `allocate_only` is used for writes,
+    /// which need a buffer but not the old contents (the collective patterns
+    /// always overwrite whole blocks by the end of the transfer).
+    async fn ensure_block(self: &Rc<Self>, ctx: &SimContext, block: u64, allocate_only: bool) {
+        let costs = self.run.config.costs;
+        self.parts.cpu.use_for(costs.iop_cache_cpu).await;
+        let lookup = self.cache.borrow_mut().lookup(block);
+        match lookup {
+            Lookup::Hit(entry) => {
+                let event = match &entry.borrow().state {
+                    EntryState::Filling(ev) => Some(ev.clone()),
+                    EntryState::Present => None,
+                };
+                if let Some(ev) = event {
+                    ev.wait().await;
+                }
+            }
+            Lookup::Miss => {
+                let reason = if allocate_only {
+                    FillReason::WriteAllocate
+                } else {
+                    FillReason::Demand
+                };
+                let (_entry, evicted) = self.cache.borrow_mut().insert_filling(block, reason);
+                if let Some(victim) = evicted {
+                    if victim.dirty {
+                        self.flush_block(victim.block, victim.written_bytes.max(1)).await;
+                    }
+                }
+                if !allocate_only {
+                    self.fetch_block(block).await;
+                }
+                self.cache.borrow_mut().mark_present(block);
+                let _ = ctx;
+            }
+        }
+    }
+
+    /// Starts a one-block-ahead prefetch of the next block on the same disk,
+    /// if it exists and is not already cached.
+    fn maybe_prefetch(self: &Rc<Self>, ctx: &SimContext, block: u64) {
+        let stride = self.run.config.n_disks as u64;
+        let next = block + stride;
+        if next >= self.run.layout.n_blocks() || self.cache.borrow().contains(next) {
+            return;
+        }
+        let server = Rc::clone(self);
+        let ctx2 = ctx.clone();
+        self.background.begin();
+        ctx.spawn(async move {
+            let costs = server.run.config.costs;
+            server.parts.cpu.use_for(costs.iop_cache_cpu).await;
+            // Re-check: another request may have brought the block in while
+            // we were charged for the cache access.
+            if !server.cache.borrow().contains(next) {
+                let (_e, evicted) = server
+                    .cache
+                    .borrow_mut()
+                    .insert_filling(next, FillReason::Prefetch);
+                if let Some(victim) = evicted {
+                    if victim.dirty {
+                        server
+                            .flush_block(victim.block, victim.written_bytes.max(1))
+                            .await;
+                    }
+                }
+                server.fetch_block(next).await;
+                server.cache.borrow_mut().mark_present(next);
+                server.cache.borrow_mut().unpin(next);
+            }
+            let _ = ctx2;
+            server.background.end();
+        });
+    }
+
+    /// Handles one CP request (runs as its own task, like the paper's
+    /// per-request IOP threads).
+    async fn handle_request(
+        self: Rc<Self>,
+        ctx: SimContext,
+        id: u64,
+        cp: usize,
+        op: AccessKind,
+        block: u64,
+        offset: u32,
+        len: u32,
+    ) {
+        let costs = self.run.config.costs;
+        self.parts.cpu.use_for(costs.iop_dispatch_cpu).await;
+        match op {
+            AccessKind::Read => {
+                self.ensure_block(&ctx, block, false).await;
+                self.maybe_prefetch(&ctx, block);
+            }
+            AccessKind::Write => {
+                self.ensure_block(&ctx, block, true).await;
+                // Copy the arriving data into the cache buffer (the one
+                // memory-memory copy of the traditional path).
+                self.parts
+                    .cpu
+                    .use_for(costs.memcpy_time(len as u64))
+                    .await;
+                self.run
+                    .record_file_bytes(block * self.run.layout.block_bytes() + offset as u64, len as u64);
+                let written = self.cache.borrow_mut().record_write(block, len as u64);
+                if written >= self.block_bytes(block) {
+                    // Write-behind: flush the now-full block in the background.
+                    let server = Rc::clone(&self);
+                    let bytes = self.block_bytes(block);
+                    self.background.begin();
+                    ctx.spawn(async move {
+                        server.flush_block(block, bytes).await;
+                        server.cache.borrow_mut().mark_clean(block);
+                        server.background.end();
+                    });
+                }
+            }
+        }
+        self.parts.cpu.use_for(costs.iop_reply_cpu).await;
+        self.cache.borrow_mut().unpin(block);
+        let reply = FsMessage::TcReply { id, op, len };
+        let bytes = costs.message_header_bytes + reply.payload_bytes();
+        self.run
+            .net
+            .send(self.parts.node, self.run.config.cp_node(cp), bytes, reply)
+            .await;
+    }
+
+    /// Handles an end-of-transfer sync: flush every remaining dirty block and
+    /// wait for all background activity, then acknowledge.
+    async fn handle_sync(self: Rc<Self>, cp: usize) {
+        // Flush partial blocks that never filled (possible when dirty blocks
+        // were evicted mid-stream and re-written, or when the file's last
+        // block is short).
+        let remaining = self.cache.borrow().dirty_blocks();
+        for (block, written) in remaining {
+            self.flush_block(block, written.max(1)).await;
+            self.cache.borrow_mut().mark_clean(block);
+        }
+        self.background.wait_idle().await;
+        let reply = FsMessage::TcSyncDone;
+        let bytes = self.run.config.costs.message_header_bytes;
+        self.run
+            .net
+            .send(self.parts.node, self.run.config.cp_node(cp), bytes, reply)
+            .await;
+    }
+}
+
+/// Per-CP client state: routes replies back to the request tasks.
+struct CpClient {
+    parts: Rc<CpParts>,
+    run: Rc<RunContext>,
+    pending: RefCell<HashMap<u64, oneshot::OneSender<FsMessage>>>,
+    sync_done: RefCell<Option<CountdownEvent>>,
+    next_id: std::cell::Cell<u64>,
+}
+
+impl CpClient {
+    fn allocate_id(&self) -> u64 {
+        let id = self.next_id.get();
+        self.next_id.set(id + 1);
+        id
+    }
+
+    /// Sends one sub-request to the owning IOP and waits for the reply.
+    async fn do_request(self: Rc<Self>, sub: SubRequest, op: AccessKind) {
+        let costs = self.run.config.costs;
+        let id = self.allocate_id();
+        let (tx, rx) = oneshot::channel();
+        self.pending.borrow_mut().insert(id, tx);
+
+        self.parts.cpu.use_for(costs.cp_request_cpu).await;
+        let disk = self.run.layout.disk_of_block(sub.block);
+        let iop = self.run.config.iop_of_disk(disk);
+        let request = FsMessage::TcRequest {
+            id,
+            cp: self.parts.cp,
+            op,
+            block: sub.block,
+            offset: sub.offset,
+            len: sub.len,
+        };
+        let bytes = costs.message_header_bytes + request.payload_bytes();
+        self.run
+            .net
+            .send(self.parts.node, self.run.config.iop_node(iop), bytes, request)
+            .await;
+
+        let reply = rx.await.expect("IOP dropped a request");
+        self.parts.cpu.use_for(costs.cp_mem_msg_cpu).await;
+        if let FsMessage::TcReply { op: AccessKind::Read, len, .. } = reply {
+            self.run
+                .record_cp_bytes(self.parts.cp, sub.mem_offset, len as u64);
+        } else {
+            self.run
+                .record_cp_bytes(self.parts.cp, sub.mem_offset, 0);
+        }
+    }
+
+    /// The CP's inbox dispatcher.
+    async fn dispatch(self: Rc<Self>, inbox: Inbox) {
+        while let Some(env) = inbox.recv().await {
+            match env.payload {
+                FsMessage::TcReply { id, .. } => {
+                    if let Some(tx) = self.pending.borrow_mut().remove(&id) {
+                        tx.send(env.payload);
+                    }
+                }
+                FsMessage::TcSyncDone => {
+                    if let Some(cd) = self.sync_done.borrow().as_ref() {
+                        cd.signal();
+                    }
+                }
+                other => panic!(
+                    "CP {} received unexpected message under traditional caching: {other:?}",
+                    self.parts.cp
+                ),
+            }
+        }
+    }
+}
+
+/// Spawns every task of a traditional-caching transfer.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn spawn_transfer(
+    sim: &mut Sim,
+    ctx: &SimContext,
+    run: &Rc<RunContext>,
+    cps: &[Rc<CpParts>],
+    iops: &[Rc<IopParts>],
+    cp_inboxes: Vec<Inbox>,
+    iop_inboxes: Vec<Inbox>,
+) {
+    let config = &run.config;
+    let op = if run.pattern.is_write() {
+        AccessKind::Write
+    } else {
+        AccessKind::Read
+    };
+
+    // IOP servers.
+    for (iop_parts, inbox) in iops.iter().zip(iop_inboxes) {
+        let cache_capacity =
+            config.cache_buffers_per_disk_per_cp * config.n_cps * iop_parts.disks.len();
+        let server = Rc::new(IopServer {
+            parts: Rc::clone(iop_parts),
+            run: Rc::clone(run),
+            cache: RefCell::new(BlockCache::new(cache_capacity.max(1))),
+            background: PendingCounter::new(),
+        });
+        let server_ctx = ctx.clone();
+        sim.spawn(async move {
+            while let Some(env) = inbox.recv().await {
+                match env.payload {
+                    FsMessage::TcRequest {
+                        id,
+                        cp,
+                        op,
+                        block,
+                        offset,
+                        len,
+                    } => {
+                        let server = Rc::clone(&server);
+                        let task_ctx = server_ctx.clone();
+                        server_ctx.spawn(async move {
+                            server
+                                .handle_request(task_ctx, id, cp, op, block, offset, len)
+                                .await;
+                        });
+                    }
+                    FsMessage::TcSync { cp } => {
+                        let server = Rc::clone(&server);
+                        server_ctx.spawn(async move {
+                            server.handle_sync(cp).await;
+                        });
+                    }
+                    other => panic!("IOP received unexpected message under traditional caching: {other:?}"),
+                }
+            }
+        });
+    }
+
+    // CP clients and application workers.
+    let barrier = Barrier::new(config.n_cps as u64);
+    for (cp_parts, inbox) in cps.iter().zip(cp_inboxes) {
+        let client = Rc::new(CpClient {
+            parts: Rc::clone(cp_parts),
+            run: Rc::clone(run),
+            pending: RefCell::new(HashMap::new()),
+            sync_done: RefCell::new(None),
+            next_id: std::cell::Cell::new(0),
+        });
+
+        // Inbox dispatcher.
+        {
+            let client = Rc::clone(&client);
+            sim.spawn(async move {
+                client.dispatch(inbox).await;
+            });
+        }
+
+        // Application worker.
+        let run2 = Rc::clone(run);
+        let barrier = barrier.clone();
+        let worker_ctx = ctx.clone();
+        let n_disks = config.n_disks;
+        let n_iops = config.n_iops;
+        sim.spawn(async move {
+            let subs = split_chunks(&run2, client.parts.cp);
+            // "The CP sent concurrent requests to all the relevant IOPs, with
+            // up to one outstanding request per disk per CP" (§4): requests
+            // are grouped by disk, each disk's stream proceeds one request at
+            // a time, and all streams run concurrently.
+            let mut per_disk: Vec<Vec<SubRequest>> = vec![Vec::new(); n_disks];
+            for sub in subs {
+                per_disk[run2.layout.disk_of_block(sub.block)].push(sub);
+            }
+            let inflight = PendingCounter::new();
+            for stream in per_disk {
+                if stream.is_empty() {
+                    continue;
+                }
+                inflight.begin();
+                let client = Rc::clone(&client);
+                let inflight2 = inflight.clone();
+                worker_ctx.spawn(async move {
+                    for sub in stream {
+                        Rc::clone(&client).do_request(sub, op).await;
+                    }
+                    inflight2.end();
+                });
+            }
+            inflight.wait_idle().await;
+
+            // Wait for every CP to finish issuing its requests, then have one
+            // CP ask the IOPs to drain their background work so the measured
+            // time includes outstanding write-behind and prefetch requests.
+            let result = barrier.wait().await;
+            if result.is_leader() {
+                let costs = run2.config.costs;
+                let countdown = CountdownEvent::new(n_iops as u64);
+                *client.sync_done.borrow_mut() = Some(countdown.clone());
+                for iop in 0..n_iops {
+                    let msg = FsMessage::TcSync { cp: client.parts.cp };
+                    client
+                        .run
+                        .net
+                        .send(
+                            client.parts.node,
+                            run2.config.iop_node(iop),
+                            costs.message_header_bytes,
+                            msg,
+                        )
+                        .await;
+                }
+                countdown.wait().await;
+            }
+        });
+    }
+}

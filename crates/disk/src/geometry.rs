@@ -1,0 +1,246 @@
+//! Physical geometry of the modeled disk and logical-block mapping.
+//!
+//! The HP 97560 is modeled with the parameters published by Ruemmler and
+//! Wilkes ("An introduction to disk drive modeling", IEEE Computer 27(3)) and
+//! used by Kotz, Toh and Radhakrishnan's simulator (Dartmouth PCS-TR94-220):
+//! 1962 cylinders x 19 heads x 72 sectors of 512 bytes, spinning at 4002 RPM.
+
+/// Address of a sector in cylinder/head/sector form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Chs {
+    /// Cylinder number, 0-based from the outermost.
+    pub cylinder: u32,
+    /// Head (surface) number.
+    pub head: u32,
+    /// Sector number within the track.
+    pub sector: u32,
+}
+
+/// Disk geometry and derived constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Geometry {
+    /// Number of cylinders.
+    pub cylinders: u32,
+    /// Number of heads (tracks per cylinder).
+    pub heads: u32,
+    /// Number of sectors per track.
+    pub sectors_per_track: u32,
+    /// Bytes per sector.
+    pub bytes_per_sector: u32,
+    /// Spindle speed in revolutions per minute.
+    pub rpm: u32,
+    /// Sector offset applied per head switch within a cylinder (track skew).
+    pub track_skew: u32,
+    /// Sector offset applied per cylinder switch (cylinder skew).
+    pub cylinder_skew: u32,
+}
+
+impl Geometry {
+    /// The HP 97560 geometry used throughout the paper.
+    pub const HP_97560: Geometry = Geometry {
+        cylinders: 1962,
+        heads: 19,
+        sectors_per_track: 72,
+        bytes_per_sector: 512,
+        rpm: 4002,
+        track_skew: 8,
+        cylinder_skew: 18,
+    };
+
+    /// A tiny geometry for fast unit tests (not a real device).
+    pub const TINY_TEST: Geometry = Geometry {
+        cylinders: 10,
+        heads: 2,
+        sectors_per_track: 16,
+        bytes_per_sector: 512,
+        rpm: 6000,
+        track_skew: 2,
+        cylinder_skew: 4,
+    };
+
+    /// Sectors per cylinder.
+    pub const fn sectors_per_cylinder(&self) -> u64 {
+        self.heads as u64 * self.sectors_per_track as u64
+    }
+
+    /// Total number of sectors on the device.
+    pub const fn total_sectors(&self) -> u64 {
+        self.cylinders as u64 * self.sectors_per_cylinder()
+    }
+
+    /// Total capacity in bytes.
+    pub const fn capacity_bytes(&self) -> u64 {
+        self.total_sectors() * self.bytes_per_sector as u64
+    }
+
+    /// Bytes per track.
+    pub const fn bytes_per_track(&self) -> u64 {
+        self.sectors_per_track as u64 * self.bytes_per_sector as u64
+    }
+
+    /// Time for one full revolution, in seconds.
+    pub fn revolution_secs(&self) -> f64 {
+        60.0 / self.rpm as f64
+    }
+
+    /// Time to pass one sector under the head, in seconds.
+    pub fn sector_secs(&self) -> f64 {
+        self.revolution_secs() / self.sectors_per_track as f64
+    }
+
+    /// Peak media transfer rate in bytes per second (one track per
+    /// revolution). For the HP 97560 this is ~2.46 MB/s (2.34 MiB/s), the
+    /// "disk peak transfer rate" of Table 1.
+    pub fn peak_transfer_bytes_per_sec(&self) -> f64 {
+        self.bytes_per_track() as f64 / self.revolution_secs()
+    }
+
+    /// Maps a logical block number (sector-sized) to its physical location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lbn` is past the end of the device.
+    pub fn lbn_to_chs(&self, lbn: u64) -> Chs {
+        assert!(
+            lbn < self.total_sectors(),
+            "LBN {lbn} out of range (device has {} sectors)",
+            self.total_sectors()
+        );
+        let spc = self.sectors_per_cylinder();
+        let cylinder = (lbn / spc) as u32;
+        let within = lbn % spc;
+        let head = (within / self.sectors_per_track as u64) as u32;
+        let sector = (within % self.sectors_per_track as u64) as u32;
+        Chs {
+            cylinder,
+            head,
+            sector,
+        }
+    }
+
+    /// Maps a physical location back to its logical block number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of range.
+    pub fn chs_to_lbn(&self, chs: Chs) -> u64 {
+        assert!(chs.cylinder < self.cylinders, "cylinder out of range");
+        assert!(chs.head < self.heads, "head out of range");
+        assert!(chs.sector < self.sectors_per_track, "sector out of range");
+        chs.cylinder as u64 * self.sectors_per_cylinder()
+            + chs.head as u64 * self.sectors_per_track as u64
+            + chs.sector as u64
+    }
+
+    /// The rotational position (in sector units, before skew) at which logical
+    /// sector `sector` of track (`cylinder`, `head`) physically starts.
+    ///
+    /// Track and cylinder skew shift where logical sector 0 of each track
+    /// lies, so that sequential transfers that cross a track or cylinder
+    /// boundary do not miss a full revolution.
+    pub fn angular_sector_position(&self, chs: Chs) -> f64 {
+        let skew = (chs.head as u64 * self.track_skew as u64
+            + chs.cylinder as u64 * self.cylinder_skew as u64)
+            % self.sectors_per_track as u64;
+        ((chs.sector as u64 + skew) % self.sectors_per_track as u64) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hp97560_capacity_is_about_1_3_gb() {
+        let g = Geometry::HP_97560;
+        let gb = g.capacity_bytes() as f64 / 1e9;
+        assert!((1.3..1.4).contains(&gb), "capacity was {gb} GB");
+        assert_eq!(g.total_sectors(), 1962 * 19 * 72);
+    }
+
+    #[test]
+    fn hp97560_peak_rate_matches_table_1() {
+        let g = Geometry::HP_97560;
+        // Table 1: "Disk peak transfer rate 2.34 Mbytes/s" (binary megabytes).
+        let mib_per_s = g.peak_transfer_bytes_per_sec() / (1024.0 * 1024.0);
+        assert!(
+            (2.30..2.40).contains(&mib_per_s),
+            "peak transfer was {mib_per_s} MiB/s"
+        );
+    }
+
+    #[test]
+    fn revolution_time_matches_rpm() {
+        let g = Geometry::HP_97560;
+        assert!((g.revolution_secs() * 1e3 - 14.992).abs() < 0.01);
+        assert!((g.sector_secs() * 72.0 - g.revolution_secs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lbn_chs_round_trip() {
+        let g = Geometry::HP_97560;
+        for lbn in [0, 1, 71, 72, 1367, 1368, g.total_sectors() - 1] {
+            let chs = g.lbn_to_chs(lbn);
+            assert_eq!(g.chs_to_lbn(chs), lbn, "round trip failed for {lbn}");
+        }
+    }
+
+    #[test]
+    fn lbn_mapping_orders_sectors_then_heads_then_cylinders() {
+        let g = Geometry::TINY_TEST;
+        assert_eq!(
+            g.lbn_to_chs(0),
+            Chs {
+                cylinder: 0,
+                head: 0,
+                sector: 0
+            }
+        );
+        assert_eq!(
+            g.lbn_to_chs(16),
+            Chs {
+                cylinder: 0,
+                head: 1,
+                sector: 0
+            }
+        );
+        assert_eq!(
+            g.lbn_to_chs(32),
+            Chs {
+                cylinder: 1,
+                head: 0,
+                sector: 0
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn lbn_out_of_range_panics() {
+        let g = Geometry::TINY_TEST;
+        g.lbn_to_chs(g.total_sectors());
+    }
+
+    #[test]
+    fn skew_shifts_angular_position() {
+        let g = Geometry::HP_97560;
+        let a0 = g.angular_sector_position(Chs {
+            cylinder: 0,
+            head: 0,
+            sector: 0,
+        });
+        let a1 = g.angular_sector_position(Chs {
+            cylinder: 0,
+            head: 1,
+            sector: 0,
+        });
+        assert_eq!(a0, 0.0);
+        assert_eq!(a1, g.track_skew as f64);
+        let a2 = g.angular_sector_position(Chs {
+            cylinder: 1,
+            head: 0,
+            sector: 0,
+        });
+        assert_eq!(a2, g.cylinder_skew as f64);
+    }
+}

@@ -1,0 +1,109 @@
+//! Disk request and service-time breakdown types.
+
+use ddio_sim::SimDuration;
+
+/// Direction of a disk transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiskOp {
+    /// Transfer from the media (or the on-disk cache) to the host.
+    Read,
+    /// Transfer from the host to the media.
+    Write,
+}
+
+/// A request for a contiguous range of sectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskRequest {
+    /// Read or write.
+    pub op: DiskOp,
+    /// First logical sector of the transfer.
+    pub start_sector: u64,
+    /// Number of sectors to transfer.
+    pub sector_count: u32,
+}
+
+impl DiskRequest {
+    /// Creates a read request.
+    pub fn read(start_sector: u64, sector_count: u32) -> Self {
+        DiskRequest {
+            op: DiskOp::Read,
+            start_sector,
+            sector_count,
+        }
+    }
+
+    /// Creates a write request.
+    pub fn write(start_sector: u64, sector_count: u32) -> Self {
+        DiskRequest {
+            op: DiskOp::Write,
+            start_sector,
+            sector_count,
+        }
+    }
+
+    /// First sector past the end of the transfer.
+    pub fn end_sector(&self) -> u64 {
+        self.start_sector + self.sector_count as u64
+    }
+
+    /// Transfer size in bytes for a given sector size.
+    pub fn bytes(&self, bytes_per_sector: u32) -> u64 {
+        self.sector_count as u64 * bytes_per_sector as u64
+    }
+}
+
+/// How one request's service time was spent. All components are simulated
+/// time; `total` is their sum (plus any wait for the media to catch up on a
+/// sequential streak).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceBreakdown {
+    /// Fixed controller overhead.
+    pub overhead: SimDuration,
+    /// Arm movement.
+    pub seek: SimDuration,
+    /// Rotational latency waiting for the first sector.
+    pub rotation: SimDuration,
+    /// Media transfer time (including skew lost at track/cylinder crossings).
+    pub transfer: SimDuration,
+    /// Total service time as seen by the requester.
+    pub total: SimDuration,
+    /// True if the request was satisfied from (or streamed through) the
+    /// on-disk read-ahead cache / sequential streak.
+    pub sequential_hit: bool,
+}
+
+impl ServiceBreakdown {
+    /// Sum of the mechanical components (everything except fixed overhead).
+    pub fn mechanical(&self) -> SimDuration {
+        self.seek + self.rotation + self.transfer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_accessors() {
+        let r = DiskRequest::read(100, 16);
+        assert_eq!(r.op, DiskOp::Read);
+        assert_eq!(r.end_sector(), 116);
+        assert_eq!(r.bytes(512), 8192);
+        let w = DiskRequest::write(0, 1);
+        assert_eq!(w.op, DiskOp::Write);
+        assert_eq!(w.end_sector(), 1);
+    }
+
+    #[test]
+    fn breakdown_mechanical_sum() {
+        let b = ServiceBreakdown {
+            overhead: SimDuration::from_millis(1),
+            seek: SimDuration::from_millis(5),
+            rotation: SimDuration::from_millis(7),
+            transfer: SimDuration::from_millis(3),
+            total: SimDuration::from_millis(16),
+            sequential_hit: false,
+        };
+        assert_eq!(b.mechanical(), SimDuration::from_millis(15));
+    }
+}

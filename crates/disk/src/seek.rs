@@ -1,0 +1,134 @@
+//! The HP 97560 seek-time curve.
+//!
+//! Ruemmler and Wilkes model the 97560's seek time as two regimes: a
+//! square-root law for short seeks (arm acceleration dominates) and a linear
+//! law for long seeks (coast at constant speed dominates).
+
+use ddio_sim::SimDuration;
+
+/// A two-regime seek-time model: `a + b*sqrt(d)` below the threshold distance
+/// and `c + e*d` at or above it, with a zero-distance seek taking zero time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeekCurve {
+    /// Distance (in cylinders) at which the model switches regimes.
+    pub threshold: u32,
+    /// Constant term of the short-seek regime, in milliseconds.
+    pub short_const_ms: f64,
+    /// sqrt coefficient of the short-seek regime, in ms per sqrt(cylinder).
+    pub short_sqrt_ms: f64,
+    /// Constant term of the long-seek regime, in milliseconds.
+    pub long_const_ms: f64,
+    /// Linear coefficient of the long-seek regime, in ms per cylinder.
+    pub long_linear_ms: f64,
+}
+
+impl SeekCurve {
+    /// The HP 97560 curve from Ruemmler & Wilkes:
+    /// d < 383: 3.24 + 0.400·√d ms; d ≥ 383: 8.00 + 0.008·d ms.
+    pub const HP_97560: SeekCurve = SeekCurve {
+        threshold: 383,
+        short_const_ms: 3.24,
+        short_sqrt_ms: 0.400,
+        long_const_ms: 8.00,
+        long_linear_ms: 0.008,
+    };
+
+    /// Seek time for a move of `distance` cylinders.
+    pub fn seek_time(&self, distance: u32) -> SimDuration {
+        if distance == 0 {
+            return SimDuration::ZERO;
+        }
+        let d = distance as f64;
+        let ms = if distance < self.threshold {
+            self.short_const_ms + self.short_sqrt_ms * d.sqrt()
+        } else {
+            self.long_const_ms + self.long_linear_ms * d
+        };
+        SimDuration::from_millis_f64(ms)
+    }
+
+    /// Seek time between two cylinder numbers.
+    pub fn seek_between(&self, from: u32, to: u32) -> SimDuration {
+        self.seek_time(from.abs_diff(to))
+    }
+
+    /// Average seek time over all equally likely (from, to) pairs of a region
+    /// spanning `cylinders` cylinders. Used for back-of-the-envelope checks in
+    /// the experiment harness and tests.
+    pub fn average_seek_time(&self, cylinders: u32) -> SimDuration {
+        if cylinders <= 1 {
+            return SimDuration::ZERO;
+        }
+        // E[|X - Y|] for X, Y uniform over [0, n) is n/3.
+        let avg_distance = (cylinders as f64 / 3.0).round() as u32;
+        self.seek_time(avg_distance.max(1))
+    }
+
+    /// The maximum (full-stroke) seek time for a device with `cylinders`
+    /// cylinders.
+    pub fn full_stroke(&self, cylinders: u32) -> SimDuration {
+        self.seek_time(cylinders.saturating_sub(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_distance_is_free() {
+        assert_eq!(SeekCurve::HP_97560.seek_time(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn short_seek_regime_values() {
+        let c = SeekCurve::HP_97560;
+        // 1 cylinder: 3.24 + 0.4 = 3.64 ms
+        assert!((c.seek_time(1).as_millis_f64() - 3.64).abs() < 1e-9);
+        // 100 cylinders: 3.24 + 0.4*10 = 7.24 ms
+        assert!((c.seek_time(100).as_millis_f64() - 7.24).abs() < 1e-9);
+    }
+
+    #[test]
+    fn long_seek_regime_values() {
+        let c = SeekCurve::HP_97560;
+        // 383 cylinders: 8.00 + 0.008*383 = 11.064 ms
+        assert!((c.seek_time(383).as_millis_f64() - 11.064).abs() < 1e-9);
+        // Full stroke (1961): 8.00 + 15.688 = 23.688 ms
+        assert!((c.full_stroke(1962).as_millis_f64() - 23.688).abs() < 1e-9);
+    }
+
+    #[test]
+    fn curve_is_monotonic() {
+        let c = SeekCurve::HP_97560;
+        let mut prev = SimDuration::ZERO;
+        for d in 0..1962 {
+            let t = c.seek_time(d);
+            assert!(t >= prev, "seek time decreased at distance {d}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn regimes_join_without_a_big_jump() {
+        let c = SeekCurve::HP_97560;
+        let below = c.seek_time(c.threshold - 1).as_millis_f64();
+        let at = c.seek_time(c.threshold).as_millis_f64();
+        assert!((at - below).abs() < 0.5, "discontinuity of {} ms", at - below);
+    }
+
+    #[test]
+    fn seek_between_is_symmetric() {
+        let c = SeekCurve::HP_97560;
+        assert_eq!(c.seek_between(10, 500), c.seek_between(500, 10));
+    }
+
+    #[test]
+    fn average_seek_is_between_min_and_full_stroke() {
+        let c = SeekCurve::HP_97560;
+        let avg = c.average_seek_time(1962);
+        assert!(avg > c.seek_time(1));
+        assert!(avg < c.full_stroke(1962));
+        assert_eq!(c.average_seek_time(1), SimDuration::ZERO);
+    }
+}

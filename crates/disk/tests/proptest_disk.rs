@@ -1,0 +1,91 @@
+//! Property-based tests of the disk model: address-mapping bijectivity and
+//! service-time sanity for arbitrary request streams.
+
+use proptest::prelude::*;
+
+use ddio_disk::{DiskModel, DiskParams, DiskRequest, Geometry, SeekCurve};
+use ddio_sim::{SimDuration, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// LBN -> CHS -> LBN is the identity for every valid sector.
+    #[test]
+    fn lbn_chs_round_trip(lbn in 0u64..Geometry::HP_97560.total_sectors()) {
+        let g = Geometry::HP_97560;
+        prop_assert_eq!(g.chs_to_lbn(g.lbn_to_chs(lbn)), lbn);
+    }
+
+    /// The seek curve is non-negative, zero only at distance zero, and
+    /// monotonically non-decreasing.
+    #[test]
+    fn seek_curve_is_monotone(d in 1u32..1962) {
+        let c = SeekCurve::HP_97560;
+        prop_assert!(c.seek_time(d) > SimDuration::ZERO);
+        prop_assert!(c.seek_time(d) >= c.seek_time(d - 1));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any stream of valid requests produces positive service times whose
+    /// breakdown components never exceed the total, and the busy-time
+    /// statistic equals the sum of the totals.
+    #[test]
+    fn service_breakdown_is_consistent(
+        requests in prop::collection::vec(
+            (0u64..100_000, 1u32..64, prop::bool::ANY),
+            1..50
+        )
+    ) {
+        let mut m = DiskModel::new(DiskParams::hp_97560());
+        let mut now = SimTime::ZERO;
+        let mut busy = SimDuration::ZERO;
+        for (block_slot, sectors, is_write) in requests {
+            let start = block_slot * 16;
+            let req = if is_write {
+                DiskRequest::write(start, sectors)
+            } else {
+                DiskRequest::read(start, sectors)
+            };
+            let b = m.service(req, now);
+            prop_assert!(b.total > SimDuration::ZERO);
+            prop_assert!(b.seek <= b.total);
+            prop_assert!(b.rotation <= b.total);
+            prop_assert!(b.transfer <= b.total);
+            // A single request's mechanical time is bounded by a full-stroke
+            // seek plus a few revolutions plus the transfer itself.
+            prop_assert!(b.total < SimDuration::from_millis(200));
+            now += b.total;
+            busy += b.total;
+        }
+        prop_assert_eq!(m.stats().busy_time, busy);
+    }
+
+    /// Reading the same span sequentially is never slower than reading it in
+    /// a scrambled order (the whole premise of the presort optimization).
+    #[test]
+    fn sequential_is_at_least_as_fast_as_scrambled(seed in 0u64..1000) {
+        let params = DiskParams::hp_97560();
+        let blocks: Vec<u64> = (0..64u64).collect();
+        let mut scrambled = blocks.clone();
+        // Simple deterministic shuffle keyed by the seed.
+        for i in (1..scrambled.len()).rev() {
+            let j = ((seed.wrapping_mul(6364136223846793005).wrapping_add(i as u64)) % (i as u64 + 1)) as usize;
+            scrambled.swap(i, j);
+        }
+        let run = |order: &[u64]| {
+            let mut m = DiskModel::new(params);
+            let mut now = SimTime::ZERO;
+            for &b in order {
+                let br = m.service(DiskRequest::read(b * 16, 16), now);
+                now += br.total;
+            }
+            now
+        };
+        let sequential = run(&blocks);
+        let shuffled = run(&scrambled);
+        prop_assert!(sequential <= shuffled);
+    }
+}

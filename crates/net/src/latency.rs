@@ -1,0 +1,89 @@
+//! The wormhole latency model.
+//!
+//! With wormhole routing the head flit pays one router latency per hop and the
+//! rest of the message streams behind it at link bandwidth, so the end-to-end
+//! latency of an uncontended message is
+//! `hops x router_latency + bytes / link_bandwidth` plus a fixed
+//! network-interface (DMA setup) cost at each end.
+
+use ddio_sim::SimDuration;
+
+/// Hardware parameters of the interconnect (Table 1 defaults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkParams {
+    /// Link/interface bandwidth in bytes per second (200 * 10^6 in Table 1).
+    pub link_bytes_per_sec: f64,
+    /// Per-router latency of the head flit (20 ns in Table 1).
+    pub router_latency: SimDuration,
+    /// Fixed cost to set up the sending DMA / compose the message.
+    pub send_dma_setup: SimDuration,
+    /// Fixed cost to set up the receiving DMA / deposit the message.
+    pub recv_dma_setup: SimDuration,
+}
+
+impl Default for NetworkParams {
+    fn default() -> Self {
+        NetworkParams {
+            link_bytes_per_sec: 200.0e6,
+            router_latency: SimDuration::from_nanos(20),
+            send_dma_setup: SimDuration::from_micros(1),
+            recv_dma_setup: SimDuration::from_micros(1),
+        }
+    }
+}
+
+impl NetworkParams {
+    /// Time the message occupies the sending network interface
+    /// (DMA setup plus serialization of the payload onto the link).
+    pub fn send_occupancy(&self, bytes: u64) -> SimDuration {
+        self.send_dma_setup + SimDuration::for_bytes(bytes, self.link_bytes_per_sec)
+    }
+
+    /// Time the message occupies the receiving network interface.
+    pub fn recv_occupancy(&self, bytes: u64) -> SimDuration {
+        self.recv_dma_setup + SimDuration::for_bytes(bytes, self.link_bytes_per_sec)
+    }
+
+    /// Pure wire latency of the head flit across `hops` routers.
+    pub fn wire_latency(&self, hops: usize) -> SimDuration {
+        self.router_latency * hops as u64
+    }
+
+    /// End-to-end latency of an uncontended message.
+    pub fn uncontended_latency(&self, bytes: u64, hops: usize) -> SimDuration {
+        self.send_occupancy(bytes) + self.wire_latency(hops) + self.recv_dma_setup
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn an_8k_message_is_dominated_by_serialization() {
+        let p = NetworkParams::default();
+        // 8 KB at 200 MB/s is 40.96 us.
+        let occ = p.send_occupancy(8192);
+        assert!((occ.as_micros_f64() - 41.96).abs() < 0.01);
+        // Router latency is negligible in comparison (6 hops = 120 ns).
+        assert_eq!(p.wire_latency(6), SimDuration::from_nanos(120));
+        let total = p.uncontended_latency(8192, 6);
+        assert!(total < SimDuration::from_micros(50));
+    }
+
+    #[test]
+    fn small_messages_cost_mostly_fixed_overhead() {
+        let p = NetworkParams::default();
+        let total = p.uncontended_latency(8, 3);
+        // 1 us DMA setup at each end dominates the 40 ns of payload time.
+        assert!(total >= SimDuration::from_micros(2));
+        assert!(total < SimDuration::from_micros(3));
+    }
+
+    #[test]
+    fn latency_grows_with_bytes_and_hops() {
+        let p = NetworkParams::default();
+        assert!(p.uncontended_latency(1 << 20, 1) > p.uncontended_latency(1 << 10, 1));
+        assert!(p.uncontended_latency(64, 6) > p.uncontended_latency(64, 1));
+    }
+}

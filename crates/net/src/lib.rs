@@ -1,0 +1,23 @@
+//! `ddio-net`: the multiprocessor interconnect model.
+//!
+//! Models the machine of Table 1 in Kotz's *Disk-Directed I/O for MIMD
+//! Multiprocessors*: a 6x6 torus with wormhole routing, 200 MB/s
+//! bidirectional links, and 20 ns per router, with per-node network
+//! interfaces that serialize concurrent traffic.
+//!
+//! * [`Torus`] — node placement and minimal hop counts.
+//! * [`NetworkParams`] — bandwidth, router latency, DMA setup costs.
+//! * [`Network`] — typed message fabric with [`Network::send`] (wait for
+//!   delivery) and [`Network::post`] (fire-and-forget, used for concurrent
+//!   Memput/Memget traffic).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod latency;
+mod network;
+mod topology;
+
+pub use latency::NetworkParams;
+pub use network::{Envelope, Network};
+pub use topology::{NodeId, Torus};

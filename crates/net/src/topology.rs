@@ -1,0 +1,143 @@
+//! The interconnect topology: a 2-D torus with wormhole routing.
+//!
+//! Table 1: "Interconnect topology 6x6 torus ... Routing wormhole". The paper
+//! places 32 processors (16 CPs + 16 IOPs) on a 6x6 torus; the remaining four
+//! router positions are unused.
+
+/// Identifier of a node (router position) in the interconnect.
+pub type NodeId = usize;
+
+/// A k x m torus with minimal (shortest-path) routing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Torus {
+    /// Number of columns.
+    pub width: usize,
+    /// Number of rows.
+    pub height: usize,
+}
+
+impl Torus {
+    /// Creates a torus of the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "torus dimensions must be non-zero");
+        Torus { width, height }
+    }
+
+    /// The smallest square-ish torus with at least `nodes` positions,
+    /// mirroring how the paper sizes a 6x6 torus for 32 processors.
+    pub fn fitting(nodes: usize) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        let mut w = 1usize;
+        while w * w < nodes {
+            w += 1;
+        }
+        // Prefer w x w; shrink the height if a full square overshoots by a row.
+        let h = nodes.div_ceil(w);
+        Torus::new(w, h.max(1))
+    }
+
+    /// Total router positions.
+    pub fn size(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// (column, row) coordinates of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the torus.
+    pub fn coords(&self, node: NodeId) -> (usize, usize) {
+        assert!(node < self.size(), "node {node} outside torus");
+        (node % self.width, node / self.width)
+    }
+
+    /// Node at the given (column, row).
+    pub fn node_at(&self, x: usize, y: usize) -> NodeId {
+        assert!(x < self.width && y < self.height, "coords outside torus");
+        y * self.width + x
+    }
+
+    /// Number of router-to-router hops on a minimal route from `a` to `b`
+    /// (0 when `a == b`).
+    pub fn hops(&self, a: NodeId, b: NodeId) -> usize {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        Self::ring_distance(ax, bx, self.width) + Self::ring_distance(ay, by, self.height)
+    }
+
+    /// Distance on a ring of `n` positions.
+    fn ring_distance(a: usize, b: usize, n: usize) -> usize {
+        let d = a.abs_diff(b);
+        d.min(n - d)
+    }
+
+    /// The largest hop count between any two nodes (the network diameter).
+    pub fn diameter(&self) -> usize {
+        self.width / 2 + self.height / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_by_six_matches_table_1() {
+        let t = Torus::new(6, 6);
+        assert_eq!(t.size(), 36);
+        assert_eq!(t.diameter(), 6);
+    }
+
+    #[test]
+    fn fitting_produces_a_compact_torus() {
+        assert_eq!(Torus::fitting(32), Torus::new(6, 6));
+        assert_eq!(Torus::fitting(36), Torus::new(6, 6));
+        assert_eq!(Torus::fitting(2), Torus::new(2, 1));
+        assert_eq!(Torus::fitting(17), Torus::new(5, 4));
+        assert!(Torus::fitting(1).size() >= 1);
+    }
+
+    #[test]
+    fn coords_round_trip() {
+        let t = Torus::new(6, 6);
+        for n in 0..t.size() {
+            let (x, y) = t.coords(n);
+            assert_eq!(t.node_at(x, y), n);
+        }
+    }
+
+    #[test]
+    fn hop_counts_use_wraparound() {
+        let t = Torus::new(6, 6);
+        // Adjacent nodes.
+        assert_eq!(t.hops(0, 1), 1);
+        // Opposite corners wrap around: (0,0) to (5,5) is 1+1 via the wrap links.
+        assert_eq!(t.hops(t.node_at(0, 0), t.node_at(5, 5)), 2);
+        // Maximum distance on a ring of 6 is 3.
+        assert_eq!(t.hops(t.node_at(0, 0), t.node_at(3, 3)), 6);
+        // Distance to self is zero and symmetric in general.
+        for a in 0..t.size() {
+            assert_eq!(t.hops(a, a), 0);
+            for b in 0..t.size() {
+                assert_eq!(t.hops(a, b), t.hops(b, a));
+                assert!(t.hops(a, b) <= t.diameter());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside torus")]
+    fn out_of_range_node_panics() {
+        Torus::new(2, 2).coords(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be non-zero")]
+    fn zero_dimension_panics() {
+        Torus::new(0, 3);
+    }
+}

@@ -1,0 +1,27 @@
+//! `ddio-patterns`: HPF array-distribution access patterns.
+//!
+//! Implements the file-access patterns of Figure 2 of Kotz's *Disk-Directed
+//! I/O for MIMD Multiprocessors*: one- and two-dimensional arrays of records
+//! distributed over compute processors with NONE / BLOCK / CYCLIC
+//! distributions per dimension, plus the ALL pattern (`ra`) in which every CP
+//! reads the entire file.
+//!
+//! The central type is [`PatternInstance`], which binds a named
+//! [`AccessPattern`] to a machine size and record size and answers the two
+//! questions the file systems need:
+//!
+//! * [`PatternInstance::chunks_for_cp`] — the contiguous file chunks a CP
+//!   requests under traditional caching;
+//! * [`PatternInstance::pieces_in`] — how one file block's bytes fan out to
+//!   CP memories, which is what a disk-directed IOP needs to route data.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chunks;
+mod dist;
+mod pattern;
+
+pub use chunks::Chunk;
+pub use dist::{processor_grid, Dist};
+pub use pattern::{AccessKind, AccessPattern, ArrayShape, Distribution, PatternInstance};

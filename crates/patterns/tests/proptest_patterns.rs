@@ -1,0 +1,99 @@
+//! Property-based tests of the access-pattern machinery: for any pattern,
+//! machine size, and record size, the chunks partition the file and the
+//! per-block pieces agree with the per-CP chunks.
+
+use proptest::prelude::*;
+
+use ddio_patterns::{AccessPattern, PatternInstance};
+
+fn arb_pattern() -> impl Strategy<Value = AccessPattern> {
+    prop::sample::select(AccessPattern::paper_all_patterns())
+}
+
+fn arb_instance() -> impl Strategy<Value = PatternInstance> {
+    (arb_pattern(), 1usize..=8, 1u64..=6, prop::sample::select(vec![8u64, 64, 512, 1024]))
+        .prop_map(|(pattern, n_cps, blocks, record_bytes)| {
+            // Keep the file small (a few "blocks" of 1 KiB) so the exhaustive
+            // coverage checks stay fast.
+            let n_records = (blocks * 1024) / record_bytes;
+            PatternInstance::new(pattern, n_cps, n_records.max(1), record_bytes)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every non-ALL pattern covers each file byte exactly once across the
+    /// chunks of all CPs, and each CP's buffer is filled exactly once.
+    #[test]
+    fn chunks_partition_file_and_buffers(inst in arb_instance()) {
+        prop_assume!(!inst.is_all());
+        let file_bytes = inst.file_bytes();
+        let mut file_covered = vec![0u8; file_bytes as usize];
+        for cp in 0..inst.n_cps() {
+            let mut mem_covered = vec![0u8; inst.cp_bytes(cp) as usize];
+            for chunk in inst.chunks_for_cp(cp) {
+                prop_assert!(chunk.file_end() <= file_bytes);
+                for b in chunk.file_offset..chunk.file_end() {
+                    file_covered[b as usize] += 1;
+                }
+                for m in chunk.mem_offset..chunk.mem_offset + chunk.bytes {
+                    mem_covered[m as usize] += 1;
+                }
+            }
+            prop_assert!(
+                mem_covered.iter().all(|&c| c == 1),
+                "CP {cp} buffer not covered exactly once for {}",
+                inst.pattern().name()
+            );
+        }
+        prop_assert!(
+            file_covered.iter().all(|&c| c == 1),
+            "file not covered exactly once for {}",
+            inst.pattern().name()
+        );
+    }
+
+    /// Decomposing the file block by block into pieces reaches exactly the
+    /// same bytes as the per-CP chunks, for every pattern including ALL.
+    #[test]
+    fn pieces_agree_with_chunks(inst in arb_instance(), block_bytes in prop::sample::select(vec![512u64, 1024, 4096])) {
+        let file_bytes = inst.file_bytes();
+        let replication = if inst.is_all() { inst.n_cps() as u64 } else { 1 };
+        let mut total_piece_bytes = 0u64;
+        let mut start = 0u64;
+        while start < file_bytes {
+            let len = block_bytes.min(file_bytes - start);
+            for piece in inst.pieces_in(start, len) {
+                prop_assert!(piece.cp < inst.n_cps());
+                prop_assert!(piece.file_offset >= start);
+                prop_assert!(piece.file_offset + piece.bytes <= start + len);
+                prop_assert!(piece.mem_offset + piece.bytes <= inst.cp_bytes(piece.cp));
+                total_piece_bytes += piece.bytes;
+            }
+            start += len;
+        }
+        prop_assert_eq!(total_piece_bytes, file_bytes * replication);
+    }
+
+    /// Chunk sizes in records match the pattern definition bounds: at least
+    /// one record, at most the whole file.
+    #[test]
+    fn chunk_size_is_sane(inst in arb_instance()) {
+        let cs = inst.chunk_size_records();
+        prop_assert!(cs >= 1);
+        prop_assert!(cs <= inst.n_records());
+    }
+
+    /// Buffer sizes sum to the file size (times the CP count for ALL).
+    #[test]
+    fn buffer_sizes_sum_to_file_size(inst in arb_instance()) {
+        let total: u64 = (0..inst.n_cps()).map(|cp| inst.cp_bytes(cp)).sum();
+        let expected = if inst.is_all() {
+            inst.file_bytes() * inst.n_cps() as u64
+        } else {
+            inst.file_bytes()
+        };
+        prop_assert_eq!(total, expected);
+    }
+}

@@ -1,0 +1,683 @@
+//! The discrete-event simulation executor.
+//!
+//! The executor is a single-threaded, deterministic async runtime whose notion
+//! of "time" is the simulation clock rather than the wall clock. Simulated
+//! processes (compute processors, I/O processors, disk servers, buffer
+//! threads, ...) are ordinary `async` functions; waiting for simulated time to
+//! pass is `ctx.sleep(duration).await`, and waiting for another process is
+//! done through the primitives in [`crate::sync`].
+//!
+//! The design mirrors what the paper used Proteus for: an event-driven engine
+//! that interleaves many logical threads and charges each action a configurable
+//! amount of simulated time.
+//!
+//! # Determinism
+//!
+//! The run loop is deterministic: ready tasks run in FIFO order of wake-up,
+//! and timers fire in `(deadline, registration sequence)` order. Two runs of
+//! the same simulation with the same seeds produce identical event orders and
+//! identical final clocks. The test suite checks this property.
+//!
+//! # Example
+//!
+//! ```
+//! use ddio_sim::{Sim, SimDuration};
+//!
+//! let mut sim = Sim::new();
+//! let ctx = sim.context();
+//! sim.spawn(async move {
+//!     ctx.sleep(SimDuration::from_millis(5)).await;
+//! });
+//! let end = sim.run();
+//! assert_eq!(end, ddio_sim::SimTime::ZERO + SimDuration::from_millis(5));
+//! ```
+
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a spawned task, unique within one [`Sim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(u64);
+
+type BoxedTask = Pin<Box<dyn Future<Output = ()>>>;
+
+/// Queue of task ids that have been woken and are waiting to be polled.
+///
+/// `Waker` must be `Send + Sync`, so the queue it pushes into is protected by
+/// a standard mutex even though the executor itself is single-threaded.
+#[derive(Default)]
+struct WakeQueue {
+    woken: Mutex<VecDeque<TaskId>>,
+}
+
+impl WakeQueue {
+    fn push(&self, id: TaskId) {
+        self.woken
+            .lock()
+            .expect("wake queue mutex poisoned")
+            .push_back(id);
+    }
+
+    fn drain(&self) -> VecDeque<TaskId> {
+        std::mem::take(&mut *self.woken.lock().expect("wake queue mutex poisoned"))
+    }
+}
+
+/// A waker that marks one task runnable.
+struct TaskWaker {
+    id: TaskId,
+    queue: Arc<WakeQueue>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.queue.push(self.id);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.queue.push(self.id);
+    }
+}
+
+/// A timer registered on the event calendar.
+struct TimerEntry {
+    deadline: SimTime,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+/// Mutable simulation state shared between the executor and [`SimContext`]s.
+struct SimState {
+    now: SimTime,
+    calendar: BinaryHeap<Reverse<TimerEntry>>,
+    timer_seq: u64,
+    next_task: u64,
+    /// Tasks spawned while the executor is running, picked up before the next
+    /// poll round.
+    newly_spawned: Vec<(TaskId, BoxedTask)>,
+    /// Number of events (timer firings + task polls) processed so far.
+    events_processed: u64,
+}
+
+impl SimState {
+    fn new() -> Self {
+        SimState {
+            now: SimTime::ZERO,
+            calendar: BinaryHeap::new(),
+            timer_seq: 0,
+            next_task: 0,
+            newly_spawned: Vec::new(),
+            events_processed: 0,
+        }
+    }
+
+    fn register_timer(&mut self, deadline: SimTime, waker: Waker) {
+        let seq = self.timer_seq;
+        self.timer_seq += 1;
+        self.calendar.push(Reverse(TimerEntry {
+            deadline,
+            seq,
+            waker,
+        }));
+    }
+}
+
+/// The discrete-event simulator: owns the clock, the event calendar, and all
+/// spawned tasks.
+pub struct Sim {
+    state: Rc<RefCell<SimState>>,
+    wake_queue: Arc<WakeQueue>,
+    tasks: HashMap<TaskId, BoxedTask>,
+    wakers: HashMap<TaskId, Waker>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    /// Creates an empty simulation at time zero.
+    pub fn new() -> Self {
+        Sim {
+            state: Rc::new(RefCell::new(SimState::new())),
+            wake_queue: Arc::new(WakeQueue::default()),
+            tasks: HashMap::new(),
+            wakers: HashMap::new(),
+        }
+    }
+
+    /// Returns a handle that tasks use to read the clock, sleep, and spawn
+    /// further tasks. Handles are cheap to clone.
+    pub fn context(&self) -> SimContext {
+        SimContext {
+            state: Rc::clone(&self.state),
+            wake_queue: Arc::clone(&self.wake_queue),
+        }
+    }
+
+    /// Spawns a root task onto the simulation.
+    ///
+    /// The task starts running when [`Sim::run`] is called. Returns the new
+    /// task's id.
+    pub fn spawn<F>(&mut self, future: F) -> TaskId
+    where
+        F: Future<Output = ()> + 'static,
+    {
+        let id = {
+            let mut st = self.state.borrow_mut();
+            let id = TaskId(st.next_task);
+            st.next_task += 1;
+            id
+        };
+        self.tasks.insert(id, Box::pin(future));
+        self.wake_queue.push(id);
+        id
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.state.borrow().now
+    }
+
+    /// Number of events (task polls and timer firings) processed so far.
+    ///
+    /// Useful for profiling the simulator itself.
+    pub fn events_processed(&self) -> u64 {
+        self.state.borrow().events_processed
+    }
+
+    /// Runs the simulation until no task can make further progress (all tasks
+    /// finished or every remaining task is blocked with no pending timer).
+    ///
+    /// Returns the final simulated time.
+    pub fn run(&mut self) -> SimTime {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Runs the simulation, but never advances the clock past `limit`.
+    ///
+    /// Events scheduled exactly at `limit` do fire. Returns the time at which
+    /// the run stopped (either quiescence or `limit`).
+    pub fn run_until(&mut self, limit: SimTime) -> SimTime {
+        loop {
+            // Adopt tasks spawned from inside other tasks.
+            let newly: Vec<(TaskId, BoxedTask)> =
+                std::mem::take(&mut self.state.borrow_mut().newly_spawned);
+            for (id, task) in newly {
+                self.tasks.insert(id, task);
+                self.wake_queue.push(id);
+            }
+
+            // Poll everything that is currently runnable, in wake order.
+            let runnable = self.wake_queue.drain();
+            if !runnable.is_empty() {
+                for id in runnable {
+                    self.poll_task(id);
+                }
+                continue;
+            }
+
+            // Nothing runnable: advance the clock to the next timer.
+            let next_deadline = {
+                let st = self.state.borrow();
+                st.calendar.peek().map(|Reverse(e)| e.deadline)
+            };
+            match next_deadline {
+                None => break,
+                Some(deadline) if deadline > limit => {
+                    self.state.borrow_mut().now = limit;
+                    break;
+                }
+                Some(deadline) => {
+                    let mut st = self.state.borrow_mut();
+                    debug_assert!(deadline >= st.now, "event calendar went backwards");
+                    st.now = deadline;
+                    // Fire every timer with this deadline before polling, so
+                    // simultaneous events are handled in registration order.
+                    while let Some(Reverse(entry)) = st.calendar.peek() {
+                        if entry.deadline != deadline {
+                            break;
+                        }
+                        let Reverse(entry) = st.calendar.pop().expect("peeked entry vanished");
+                        st.events_processed += 1;
+                        entry.waker.wake();
+                    }
+                }
+            }
+        }
+        self.now()
+    }
+
+    /// Returns the number of tasks that have been spawned but not yet
+    /// completed (including blocked tasks).
+    pub fn live_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    fn poll_task(&mut self, id: TaskId) {
+        let Some(mut task) = self.tasks.remove(&id) else {
+            // Already completed; a stale wake-up is harmless.
+            return;
+        };
+        let waker = self
+            .wakers
+            .entry(id)
+            .or_insert_with(|| {
+                Waker::from(Arc::new(TaskWaker {
+                    id,
+                    queue: Arc::clone(&self.wake_queue),
+                }))
+            })
+            .clone();
+        self.state.borrow_mut().events_processed += 1;
+        let mut cx = Context::from_waker(&waker);
+        match task.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                self.wakers.remove(&id);
+            }
+            Poll::Pending => {
+                self.tasks.insert(id, task);
+            }
+        }
+    }
+}
+
+/// A cloneable handle to the running simulation, used from inside tasks.
+#[derive(Clone)]
+pub struct SimContext {
+    state: Rc<RefCell<SimState>>,
+    wake_queue: Arc<WakeQueue>,
+}
+
+impl SimContext {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.state.borrow().now
+    }
+
+    /// Suspends the calling task for `duration` of simulated time.
+    pub fn sleep(&self, duration: SimDuration) -> Sleep {
+        Sleep {
+            ctx: self.clone(),
+            deadline: self.now() + duration,
+            registered: false,
+        }
+    }
+
+    /// Suspends the calling task until the absolute instant `deadline`.
+    ///
+    /// Completes immediately if `deadline` is in the past.
+    pub fn sleep_until(&self, deadline: SimTime) -> Sleep {
+        Sleep {
+            ctx: self.clone(),
+            deadline,
+            registered: false,
+        }
+    }
+
+    /// Yields once, letting every other currently-runnable task run before
+    /// this task continues (at the same simulated time).
+    pub fn yield_now(&self) -> YieldNow {
+        YieldNow { yielded: false }
+    }
+
+    /// Spawns a new task. The task becomes runnable immediately (at the
+    /// current simulated time) and runs concurrently with the caller.
+    ///
+    /// Returns a [`JoinHandle`] that can be awaited for the task's result.
+    pub fn spawn<F, T>(&self, future: F) -> JoinHandle<T>
+    where
+        F: Future<Output = T> + 'static,
+        T: 'static,
+    {
+        let slot: Rc<RefCell<JoinSlot<T>>> = Rc::new(RefCell::new(JoinSlot {
+            value: None,
+            waiter: None,
+        }));
+        let slot2 = Rc::clone(&slot);
+        let wrapped = async move {
+            let value = future.await;
+            let waiter = {
+                let mut s = slot2.borrow_mut();
+                s.value = Some(value);
+                s.waiter.take()
+            };
+            if let Some(w) = waiter {
+                w.wake();
+            }
+        };
+        let id = {
+            let mut st = self.state.borrow_mut();
+            let id = TaskId(st.next_task);
+            st.next_task += 1;
+            st.newly_spawned.push((id, Box::pin(wrapped)));
+            id
+        };
+        self.wake_queue.push(id);
+        JoinHandle { id, slot }
+    }
+
+    pub(crate) fn register_timer(&self, deadline: SimTime, waker: Waker) {
+        self.state.borrow_mut().register_timer(deadline, waker);
+    }
+}
+
+/// Future returned by [`SimContext::sleep`].
+pub struct Sleep {
+    ctx: SimContext,
+    deadline: SimTime,
+    registered: bool,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.ctx.now() >= self.deadline {
+            return Poll::Ready(());
+        }
+        if !self.registered {
+            self.registered = true;
+            let deadline = self.deadline;
+            self.ctx.register_timer(deadline, cx.waker().clone());
+        }
+        Poll::Pending
+    }
+}
+
+/// Future returned by [`SimContext::yield_now`].
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+struct JoinSlot<T> {
+    value: Option<T>,
+    waiter: Option<Waker>,
+}
+
+/// Handle to a spawned task; awaiting it yields the task's return value.
+pub struct JoinHandle<T> {
+    id: TaskId,
+    slot: Rc<RefCell<JoinSlot<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// The id of the task this handle refers to.
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// Returns true if the task has finished (its value may already have been
+    /// taken by an earlier await).
+    pub fn is_finished(&self) -> bool {
+        self.slot.borrow().value.is_some()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut slot = self.slot.borrow_mut();
+        if let Some(v) = slot.value.take() {
+            Poll::Ready(v)
+        } else {
+            slot.waiter = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// Awaits every join handle in `handles`, in order, returning their results.
+///
+/// Because the simulator is cooperative this is equivalent to a "join all":
+/// all spawned tasks keep running concurrently while the caller waits.
+pub async fn join_all<T>(handles: Vec<JoinHandle<T>>) -> Vec<T> {
+    let mut out = Vec::with_capacity(handles.len());
+    for h in handles {
+        out.push(h.await);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn empty_simulation_finishes_at_time_zero() {
+        let mut sim = Sim::new();
+        assert_eq!(sim.run(), SimTime::ZERO);
+        assert_eq!(sim.live_tasks(), 0);
+    }
+
+    #[test]
+    fn sleep_advances_the_clock() {
+        let mut sim = Sim::new();
+        let ctx = sim.context();
+        sim.spawn(async move {
+            ctx.sleep(SimDuration::from_millis(3)).await;
+            ctx.sleep(SimDuration::from_millis(4)).await;
+        });
+        let end = sim.run();
+        assert_eq!(end, SimTime::from_nanos(7_000_000));
+    }
+
+    #[test]
+    fn zero_length_sleep_completes() {
+        let mut sim = Sim::new();
+        let ctx = sim.context();
+        let done = Rc::new(Cell::new(false));
+        let done2 = Rc::clone(&done);
+        sim.spawn(async move {
+            ctx.sleep(SimDuration::ZERO).await;
+            done2.set(true);
+        });
+        sim.run();
+        assert!(done.get());
+    }
+
+    #[test]
+    fn concurrent_sleeps_overlap() {
+        let mut sim = Sim::new();
+        let ctx = sim.context();
+        for _ in 0..10 {
+            let ctx = ctx.clone();
+            sim.spawn(async move {
+                ctx.sleep(SimDuration::from_millis(10)).await;
+            });
+        }
+        // Ten concurrent 10 ms sleeps take 10 ms, not 100 ms.
+        assert_eq!(sim.run(), SimTime::from_nanos(10_000_000));
+    }
+
+    #[test]
+    fn spawn_from_task_and_join() {
+        let mut sim = Sim::new();
+        let ctx = sim.context();
+        let result = Rc::new(Cell::new(0u64));
+        let result2 = Rc::clone(&result);
+        sim.spawn(async move {
+            let child = ctx.spawn({
+                let ctx = ctx.clone();
+                async move {
+                    ctx.sleep(SimDuration::from_micros(5)).await;
+                    42u64
+                }
+            });
+            result2.set(child.await);
+        });
+        sim.run();
+        assert_eq!(result.get(), 42);
+    }
+
+    #[test]
+    fn join_all_waits_for_every_child() {
+        let mut sim = Sim::new();
+        let ctx = sim.context();
+        let total = Rc::new(Cell::new(0u64));
+        let total2 = Rc::clone(&total);
+        sim.spawn(async move {
+            let handles: Vec<_> = (0..8u64)
+                .map(|i| {
+                    let child_ctx = ctx.clone();
+                    ctx.spawn(async move {
+                        child_ctx.sleep(SimDuration::from_micros(i)).await;
+                        i
+                    })
+                })
+                .collect();
+            let results = join_all(handles).await;
+            total2.set(results.iter().sum());
+        });
+        let end = sim.run();
+        assert_eq!(total.get(), 28);
+        assert_eq!(end, SimTime::ZERO + SimDuration::from_micros(7));
+    }
+
+    #[test]
+    fn timers_fire_in_deadline_order() {
+        let mut sim = Sim::new();
+        let ctx = sim.context();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for (label, delay_us) in [("c", 30u64), ("a", 10), ("b", 20)] {
+            let ctx = ctx.clone();
+            let order = Rc::clone(&order);
+            sim.spawn(async move {
+                ctx.sleep(SimDuration::from_micros(delay_us)).await;
+                order.borrow_mut().push(label);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn simultaneous_timers_fire_in_registration_order() {
+        let mut sim = Sim::new();
+        let ctx = sim.context();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..5u32 {
+            let ctx = ctx.clone();
+            let order = Rc::clone(&order);
+            sim.spawn(async move {
+                ctx.sleep(SimDuration::from_micros(7)).await;
+                order.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn run_until_stops_at_the_limit() {
+        let mut sim = Sim::new();
+        let ctx = sim.context();
+        let done = Rc::new(Cell::new(false));
+        let done2 = Rc::clone(&done);
+        sim.spawn(async move {
+            ctx.sleep(SimDuration::from_secs(100)).await;
+            done2.set(true);
+        });
+        let stop = sim.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+        assert_eq!(stop, SimTime::ZERO + SimDuration::from_secs(1));
+        assert!(!done.get());
+        assert_eq!(sim.live_tasks(), 1);
+        // Resuming without a limit lets the task finish.
+        let end = sim.run();
+        assert_eq!(end, SimTime::ZERO + SimDuration::from_secs(100));
+        assert!(done.get());
+    }
+
+    #[test]
+    fn yield_now_interleaves_tasks_at_the_same_time() {
+        let mut sim = Sim::new();
+        let ctx = sim.context();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for name in ["x", "y"] {
+            let ctx = ctx.clone();
+            let order = Rc::clone(&order);
+            sim.spawn(async move {
+                for round in 0..3 {
+                    order.borrow_mut().push(format!("{name}{round}"));
+                    ctx.yield_now().await;
+                }
+            });
+        }
+        sim.run();
+        let got = order.borrow().join(",");
+        assert_eq!(got, "x0,y0,x1,y1,x2,y2");
+    }
+
+    #[test]
+    fn sleep_until_past_deadline_is_immediate() {
+        let mut sim = Sim::new();
+        let ctx = sim.context();
+        sim.spawn(async move {
+            ctx.sleep(SimDuration::from_millis(1)).await;
+            // Deadline already passed; must not deadlock or rewind.
+            ctx.sleep_until(SimTime::ZERO).await;
+        });
+        assert_eq!(sim.run(), SimTime::ZERO + SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn deterministic_event_counts() {
+        let run = || {
+            let mut sim = Sim::new();
+            let ctx = sim.context();
+            for i in 0..50u64 {
+                let ctx = ctx.clone();
+                sim.spawn(async move {
+                    ctx.sleep(SimDuration::from_micros(i % 7)).await;
+                    ctx.sleep(SimDuration::from_micros(i % 3)).await;
+                });
+            }
+            sim.run();
+            (sim.now(), sim.events_processed())
+        };
+        assert_eq!(run(), run());
+    }
+}

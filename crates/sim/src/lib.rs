@@ -1,0 +1,59 @@
+//! `ddio-sim`: a deterministic discrete-event simulation engine.
+//!
+//! This crate is the substrate that replaces the Proteus parallel-architecture
+//! simulator used in Kotz's *Disk-Directed I/O for MIMD Multiprocessors*
+//! (OSDI 1994). Simulated processors, disk servers, and file-system threads
+//! are modeled as async tasks scheduled by a single-threaded executor whose
+//! clock is simulated time.
+//!
+//! The main pieces are:
+//!
+//! * [`Sim`] / [`SimContext`] — the executor and the handle tasks use to read
+//!   the clock, sleep, and spawn further tasks.
+//! * [`SimTime`] / [`SimDuration`] — integer-nanosecond simulated time.
+//! * [`sync`] — FIFO-fair primitives: channels, semaphores, barriers, events,
+//!   mutexes, and served [`sync::Resource`]s (buses, DMA engines, CPUs).
+//! * [`SimRng`] — seeded randomness, one stream per trial.
+//! * [`stats`] — counters, time-weighted averages, trial summaries.
+//!
+//! # Example: two communicating processes
+//!
+//! ```
+//! use ddio_sim::{Sim, SimDuration, sync};
+//!
+//! let mut sim = Sim::new();
+//! let ctx = sim.context();
+//! let (tx, rx) = sync::unbounded::<u64>();
+//!
+//! // A "disk" that takes 10 ms per request.
+//! let disk_ctx = ctx.clone();
+//! sim.spawn(async move {
+//!     while let Some(block) = rx.recv().await {
+//!         disk_ctx.sleep(SimDuration::from_millis(10)).await;
+//!         let _ = block;
+//!     }
+//! });
+//!
+//! // A client issuing three requests.
+//! sim.spawn(async move {
+//!     for block in 0..3 {
+//!         tx.send(block).await.unwrap();
+//!     }
+//! });
+//!
+//! let end = sim.run();
+//! assert_eq!(end.as_nanos(), 30_000_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod executor;
+mod rng;
+pub mod stats;
+pub mod sync;
+mod time;
+
+pub use executor::{join_all, JoinHandle, Sim, SimContext, Sleep, TaskId, YieldNow};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,222 @@
+//! Measurement helpers: counters, time-weighted averages, and summaries.
+//!
+//! The experiment harness reports mean throughput and the coefficient of
+//! variation over five trials, exactly as the paper's figure captions do
+//! ("maximum coefficient of variation is 0.14").
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A shareable monotonically increasing counter.
+#[derive(Clone, Default)]
+pub struct Counter {
+    value: Rc<Cell<u64>>,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.value.set(self.value.get() + n);
+    }
+
+    /// Increments the counter by one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.get()
+    }
+}
+
+/// Tracks a time-weighted average of a piecewise-constant quantity, such as
+/// queue length or number of busy servers.
+#[derive(Clone)]
+pub struct TimeWeighted {
+    inner: Rc<Cell<TwInner>>,
+}
+
+#[derive(Clone, Copy)]
+struct TwInner {
+    current: f64,
+    last_change: SimTime,
+    weighted_sum: f64,
+    start: SimTime,
+}
+
+impl TimeWeighted {
+    /// Starts tracking at `start` with initial value `value`.
+    pub fn new(start: SimTime, value: f64) -> Self {
+        TimeWeighted {
+            inner: Rc::new(Cell::new(TwInner {
+                current: value,
+                last_change: start,
+                weighted_sum: 0.0,
+                start,
+            })),
+        }
+    }
+
+    /// Records that the quantity changed to `value` at time `now`.
+    pub fn set(&self, now: SimTime, value: f64) {
+        let mut st = self.inner.get();
+        let dt = now.saturating_duration_since(st.last_change).as_secs_f64();
+        st.weighted_sum += st.current * dt;
+        st.current = value;
+        st.last_change = now;
+        self.inner.set(st);
+    }
+
+    /// Adds `delta` to the tracked quantity at time `now`.
+    pub fn add(&self, now: SimTime, delta: f64) {
+        let cur = self.inner.get().current;
+        self.set(now, cur + delta);
+    }
+
+    /// Returns the time-weighted mean over `[start, now]`.
+    pub fn mean(&self, now: SimTime) -> f64 {
+        let st = self.inner.get();
+        let total = now.saturating_duration_since(st.start).as_secs_f64();
+        if total == 0.0 {
+            return st.current;
+        }
+        let tail = now.saturating_duration_since(st.last_change).as_secs_f64();
+        (st.weighted_sum + st.current * tail) / total
+    }
+}
+
+/// Simple summary statistics over a set of samples (one per trial).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator); zero for n < 2.
+    pub std_dev: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Maximum sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics of `samples`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn of(samples: &[f64]) -> Summary {
+        assert!(!samples.is_empty(), "cannot summarize zero samples");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        }
+    }
+
+    /// Coefficient of variation (std-dev / mean); zero when the mean is zero.
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std_dev / self.mean
+        }
+    }
+}
+
+/// Computes a throughput in binary megabytes per second, the unit used by all
+/// of the paper's figures.
+pub fn throughput_mibs(bytes: u64, elapsed: SimDuration) -> f64 {
+    if elapsed.is_zero() {
+        return 0.0;
+    }
+    bytes as f64 / (1024.0 * 1024.0) / elapsed.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.incr();
+        c.add(9);
+        let c2 = c.clone();
+        c2.incr();
+        assert_eq!(c.get(), 11);
+    }
+
+    #[test]
+    fn time_weighted_mean_of_step_function() {
+        let t0 = SimTime::ZERO;
+        let tw = TimeWeighted::new(t0, 0.0);
+        // 0 for 1 s, then 10 for 1 s => mean 5 over 2 s.
+        tw.set(t0 + SimDuration::from_secs(1), 10.0);
+        let mean = tw.mean(t0 + SimDuration::from_secs(2));
+        assert!((mean - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_weighted_add_tracks_queue_length() {
+        let t0 = SimTime::ZERO;
+        let tw = TimeWeighted::new(t0, 0.0);
+        tw.add(t0 + SimDuration::from_secs(1), 2.0); // queue 2 from 1s..3s
+        tw.add(t0 + SimDuration::from_secs(3), -1.0); // queue 1 from 3s..4s
+        let mean = tw.mean(t0 + SimDuration::from_secs(4));
+        // (0*1 + 2*2 + 1*1) / 4 = 1.25
+        assert!((mean - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-9);
+        assert!((s.std_dev - 2.138089935299395).abs() < 1e-9);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.cv() - s.std_dev / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_of_single_sample_has_zero_spread() {
+        let s = Summary::of(&[3.5]);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn summary_of_empty_panics() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    fn throughput_formula() {
+        // 10 MiB in 2 seconds is 5 MiB/s.
+        let t = throughput_mibs(10 * 1024 * 1024, SimDuration::from_secs(2));
+        assert!((t - 5.0).abs() < 1e-9);
+        assert_eq!(throughput_mibs(100, SimDuration::ZERO), 0.0);
+    }
+}

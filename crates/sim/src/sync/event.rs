@@ -1,0 +1,266 @@
+//! One-shot events and countdown latches.
+
+use std::cell::RefCell;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+struct EventInner {
+    set: bool,
+    waiters: Vec<Waker>,
+}
+
+/// A one-shot broadcast event: once [`Event::set`] is called, every current
+/// and future [`Event::wait`] completes immediately.
+///
+/// Used for "all buffers are ready" style conditions in the file-system
+/// implementations.
+#[derive(Clone)]
+pub struct Event {
+    inner: Rc<RefCell<EventInner>>,
+}
+
+impl std::fmt::Debug for Event {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Event").field("set", &self.is_set()).finish()
+    }
+}
+
+impl Default for Event {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Event {
+    /// Creates an unset event.
+    pub fn new() -> Self {
+        Event {
+            inner: Rc::new(RefCell::new(EventInner {
+                set: false,
+                waiters: Vec::new(),
+            })),
+        }
+    }
+
+    /// Fires the event, waking all waiters. Idempotent.
+    pub fn set(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.set = true;
+        for w in inner.waiters.drain(..) {
+            w.wake();
+        }
+    }
+
+    /// Returns true if the event has fired.
+    pub fn is_set(&self) -> bool {
+        self.inner.borrow().set
+    }
+
+    /// Waits until the event fires.
+    pub fn wait(&self) -> EventWait {
+        EventWait {
+            event: self.clone(),
+        }
+    }
+}
+
+/// Future returned by [`Event::wait`].
+pub struct EventWait {
+    event: Event,
+}
+
+impl Future for EventWait {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut inner = self.event.inner.borrow_mut();
+        if inner.set {
+            Poll::Ready(())
+        } else {
+            inner.waiters.push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+struct CountdownInner {
+    remaining: u64,
+    waiters: Vec<Waker>,
+}
+
+/// A latch that opens after being counted down `n` times.
+///
+/// Models "wait for all IOPs to respond that they are finished" (Figure 1c of
+/// the paper): the requesting CP creates a countdown of `n_iops` and each IOP
+/// completion counts it down once.
+#[derive(Clone)]
+pub struct CountdownEvent {
+    inner: Rc<RefCell<CountdownInner>>,
+}
+
+impl CountdownEvent {
+    /// Creates a latch that opens after `count` calls to
+    /// [`CountdownEvent::signal`]. A zero count is already open.
+    pub fn new(count: u64) -> Self {
+        CountdownEvent {
+            inner: Rc::new(RefCell::new(CountdownInner {
+                remaining: count,
+                waiters: Vec::new(),
+            })),
+        }
+    }
+
+    /// Counts down once; opens the latch when the count reaches zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if signalled more times than the initial count — that would mean
+    /// a protocol error (e.g. an IOP acknowledging a request twice).
+    pub fn signal(&self) {
+        let mut inner = self.inner.borrow_mut();
+        assert!(
+            inner.remaining > 0,
+            "CountdownEvent signalled more times than its initial count"
+        );
+        inner.remaining -= 1;
+        if inner.remaining == 0 {
+            for w in inner.waiters.drain(..) {
+                w.wake();
+            }
+        }
+    }
+
+    /// Remaining signals before the latch opens.
+    pub fn remaining(&self) -> u64 {
+        self.inner.borrow().remaining
+    }
+
+    /// Waits until the latch opens.
+    pub fn wait(&self) -> CountdownWait {
+        CountdownWait {
+            latch: self.clone(),
+        }
+    }
+}
+
+/// Future returned by [`CountdownEvent::wait`].
+pub struct CountdownWait {
+    latch: CountdownEvent,
+}
+
+impl Future for CountdownWait {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut inner = self.latch.inner.borrow_mut();
+        if inner.remaining == 0 {
+            Poll::Ready(())
+        } else {
+            inner.waiters.push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Sim, SimDuration};
+    use std::cell::Cell;
+
+    #[test]
+    fn event_wakes_waiters() {
+        let mut sim = Sim::new();
+        let ctx = sim.context();
+        let ev = Event::new();
+        let woken_at = Rc::new(Cell::new(0u64));
+        for _ in 0..3 {
+            let ev = ev.clone();
+            let ctx = ctx.clone();
+            let woken_at = Rc::clone(&woken_at);
+            sim.spawn(async move {
+                ev.wait().await;
+                woken_at.set(ctx.now().as_nanos());
+            });
+        }
+        {
+            let ev = ev.clone();
+            let ctx = ctx.clone();
+            sim.spawn(async move {
+                ctx.sleep(SimDuration::from_millis(2)).await;
+                ev.set();
+            });
+        }
+        sim.run();
+        assert_eq!(woken_at.get(), 2_000_000);
+        assert!(ev.is_set());
+    }
+
+    #[test]
+    fn wait_after_set_is_immediate() {
+        let mut sim = Sim::new();
+        let ev = Event::new();
+        ev.set();
+        let done = Rc::new(Cell::new(false));
+        let done2 = Rc::clone(&done);
+        let ev2 = ev.clone();
+        sim.spawn(async move {
+            ev2.wait().await;
+            done2.set(true);
+        });
+        assert_eq!(sim.run(), crate::SimTime::ZERO);
+        assert!(done.get());
+    }
+
+    #[test]
+    fn countdown_opens_only_after_all_signals() {
+        let mut sim = Sim::new();
+        let ctx = sim.context();
+        let latch = CountdownEvent::new(4);
+        let opened_at = Rc::new(Cell::new(0u64));
+        {
+            let latch = latch.clone();
+            let ctx = ctx.clone();
+            let opened_at = Rc::clone(&opened_at);
+            sim.spawn(async move {
+                latch.wait().await;
+                opened_at.set(ctx.now().as_nanos());
+            });
+        }
+        for i in 1..=4u64 {
+            let latch = latch.clone();
+            let ctx = ctx.clone();
+            sim.spawn(async move {
+                ctx.sleep(SimDuration::from_millis(i)).await;
+                latch.signal();
+            });
+        }
+        sim.run();
+        assert_eq!(opened_at.get(), 4_000_000);
+        assert_eq!(latch.remaining(), 0);
+    }
+
+    #[test]
+    fn zero_countdown_is_open() {
+        let mut sim = Sim::new();
+        let latch = CountdownEvent::new(0);
+        let done = Rc::new(Cell::new(false));
+        let done2 = Rc::clone(&done);
+        sim.spawn(async move {
+            latch.wait().await;
+            done2.set(true);
+        });
+        sim.run();
+        assert!(done.get());
+    }
+
+    #[test]
+    #[should_panic(expected = "more times")]
+    fn over_signalling_panics() {
+        let latch = CountdownEvent::new(1);
+        latch.signal();
+        latch.signal();
+    }
+}

@@ -1,0 +1,20 @@
+//! Simulation-aware synchronization and communication primitives.
+//!
+//! All primitives are FIFO-fair and deterministic; they are the only way
+//! simulated tasks should coordinate (never real threads or OS locks).
+
+mod barrier;
+mod channel;
+mod event;
+mod mutex;
+mod resource;
+mod semaphore;
+
+pub use barrier::{Barrier, BarrierWaitResult};
+pub use channel::{
+    bounded, oneshot, unbounded, Receiver, SendError, Sender, TrySendError,
+};
+pub use event::{CountdownEvent, Event};
+pub use mutex::{SimMutex, SimMutexGuard};
+pub use resource::{Resource, ResourceGuard};
+pub use semaphore::{Permit, Semaphore};

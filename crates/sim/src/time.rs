@@ -1,0 +1,325 @@
+//! Simulated time.
+//!
+//! The simulation clock is an integer number of nanoseconds since the start of
+//! the simulation. Using integers (rather than floating point) keeps the event
+//! calendar total-ordered and the whole simulation bit-for-bit deterministic,
+//! which the tests rely on.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant on the simulation clock, in nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (time zero).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The largest representable instant.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant from raw nanoseconds since simulation start.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Returns the raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns this instant expressed in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Returns the duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`; simulation time never runs
+    /// backwards, so that would indicate a bug in the caller.
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("SimTime::duration_since: `earlier` is later than `self`"),
+        )
+    }
+
+    /// Returns the duration elapsed since `earlier`, or zero if `earlier` is
+    /// in the future.
+    pub fn saturating_duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Adds a duration, saturating at [`SimTime::MAX`].
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// The largest representable duration.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a duration from nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimDuration(nanos)
+    }
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros * 1_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000_000_000)
+    }
+
+    /// Creates a duration from fractional seconds, rounding to the nearest
+    /// nanosecond and clamping negative values to zero.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if secs <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration((secs * 1e9).round() as u64)
+    }
+
+    /// Creates a duration from fractional milliseconds (a convenience for the
+    /// disk model, whose published parameters are in milliseconds).
+    pub fn from_millis_f64(millis: f64) -> Self {
+        Self::from_secs_f64(millis / 1e3)
+    }
+
+    /// Creates a duration from fractional microseconds.
+    pub fn from_micros_f64(micros: f64) -> Self {
+        Self::from_secs_f64(micros / 1e6)
+    }
+
+    /// Returns the raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration in (fractional) microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Returns the duration in (fractional) milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Returns the duration in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Returns true if the duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the time needed to move `bytes` bytes at `bytes_per_sec`.
+    ///
+    /// This is the idiom used throughout the disk, bus, and network models to
+    /// convert a bandwidth into a service time.
+    pub fn for_bytes(bytes: u64, bytes_per_sec: f64) -> Self {
+        assert!(
+            bytes_per_sec > 0.0,
+            "bandwidth must be positive, got {bytes_per_sec}"
+        );
+        Self::from_secs_f64(bytes as f64 / bytes_per_sec)
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(other.0))
+    }
+
+    /// Multiplies the duration by an integer factor.
+    pub const fn times(self, factor: u64) -> SimDuration {
+        SimDuration(self.0 * factor)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.duration_since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1_000 {
+            write!(f, "{}ns", self.0)
+        } else if self.0 < 1_000_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else if self.0 < 1_000_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{:.6}s", self.as_secs_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(SimDuration::from_micros(3).as_nanos(), 3_000);
+        assert_eq!(SimDuration::from_millis(3).as_nanos(), 3_000_000);
+        assert_eq!(SimDuration::from_secs(3).as_nanos(), 3_000_000_000);
+        assert_eq!(SimTime::from_nanos(42).as_nanos(), 42);
+    }
+
+    #[test]
+    fn float_conversions() {
+        let d = SimDuration::from_secs_f64(0.0015);
+        assert_eq!(d.as_nanos(), 1_500_000);
+        assert!((d.as_millis_f64() - 1.5).abs() < 1e-9);
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_millis_f64(2.5).as_nanos(), 2_500_000);
+        assert_eq!(SimDuration::from_micros_f64(2.5).as_nanos(), 2_500);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_nanos(1_000);
+        let d = SimDuration::from_nanos(500);
+        assert_eq!((t + d).as_nanos(), 1_500);
+        assert_eq!((t + d) - t, d);
+        assert_eq!((t + d).duration_since(t), d);
+        assert_eq!(t.saturating_duration_since(t + d), SimDuration::ZERO);
+        assert_eq!((d * 4).as_nanos(), 2_000);
+        assert_eq!((d / 2).as_nanos(), 250);
+        assert_eq!(d + d - d, d);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration_since")]
+    fn duration_since_panics_on_backwards_time() {
+        let _ = SimTime::from_nanos(1).duration_since(SimTime::from_nanos(2));
+    }
+
+    #[test]
+    fn bandwidth_to_time() {
+        // 10 MB/s moving 10 MB takes one second.
+        let d = SimDuration::for_bytes(10_000_000, 10_000_000.0);
+        assert_eq!(d, SimDuration::from_secs(1));
+        // 8 KB at 2.4576 MB/s is about 3.33 ms.
+        let d = SimDuration::for_bytes(8192, 2_457_600.0);
+        assert!((d.as_millis_f64() - 3.333).abs() < 0.01);
+    }
+
+    #[test]
+    fn display_uses_readable_units() {
+        assert_eq!(format!("{}", SimDuration::from_nanos(5)), "5ns");
+        assert_eq!(format!("{}", SimDuration::from_micros(5)), "5.000us");
+        assert_eq!(format!("{}", SimDuration::from_millis(5)), "5.000ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(5)), "5.000000s");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let parts = [
+            SimDuration::from_nanos(1),
+            SimDuration::from_nanos(2),
+            SimDuration::from_nanos(3),
+        ];
+        let total: SimDuration = parts.iter().copied().sum();
+        assert_eq!(total.as_nanos(), 6);
+    }
+}

@@ -1,0 +1,56 @@
+//! Loading a distributed matrix: the scenario of §2 of the paper.
+//!
+//! A weather-model restart file holds a 2-D matrix in row-major order; the
+//! application distributes it over the CPs with an HPF distribution. This
+//! example loads the same matrix under several distributions and shows how
+//! strongly the baseline file system depends on the distribution while
+//! disk-directed I/O does not.
+//!
+//! Run with: `cargo run --release --example matrix_loader`
+
+use disk_directed_io::{AccessPattern, CollectiveFile, LayoutPolicy, MachineConfig, Method};
+
+fn main() {
+    let config = MachineConfig {
+        file_bytes: 2 * 1024 * 1024,
+        layout: LayoutPolicy::Contiguous,
+        ..MachineConfig::default()
+    };
+    let file = CollectiveFile::new(config.clone());
+
+    // 8 KiB records (one block per matrix element chunk), the "convenient"
+    // record size of the paper; try BLOCK/BLOCK, CYCLIC/CYCLIC and
+    // row-CYCLIC distributions of the matrix.
+    let distributions = ["rbb", "rcc", "rcn", "rnb", "rb"];
+    let record_bytes = 8192;
+
+    println!("Loading a row-major matrix distributed over {} CPs", config.n_cps);
+    println!(
+        "{:<10}{:>14}{:>14}{:>10}",
+        "pattern", "TC MiB/s", "DDIO MiB/s", "DDIO/TC"
+    );
+    for name in distributions {
+        let pattern = AccessPattern::parse(name).expect("known pattern");
+        let shape = disk_directed_io::ArrayShape::default_for(
+            pattern,
+            config.file_bytes / record_bytes,
+        );
+        let tc = file
+            .read_distributed(name, record_bytes, Method::TraditionalCaching, 11)
+            .expect("valid read");
+        let ddio = file
+            .read_distributed(name, record_bytes, Method::DiskDirectedSorted, 11)
+            .expect("valid read");
+        println!(
+            "{:<10}{:>14.2}{:>14.2}{:>9.1}x   (shape {:?})",
+            name,
+            tc.throughput_mibs,
+            ddio.throughput_mibs,
+            ddio.throughput_mibs / tc.throughput_mibs,
+            shape,
+        );
+    }
+    println!("\nDisk-directed throughput is nearly independent of the distribution;");
+    println!("the traditional path slows down whenever the distribution breaks the");
+    println!("file into small or strided chunks.");
+}

@@ -1,0 +1,64 @@
+//! An out-of-core computation doing I/O in "memoryloads" (§2 of the paper):
+//! the application repeatedly loads a slab of a scratch file into the CP
+//! memories, computes on it, and writes it back.
+//!
+//! The example runs several passes of load + store with both file systems and
+//! reports the aggregate scratch-file bandwidth each achieves.
+//!
+//! Run with: `cargo run --release --example out_of_core`
+
+use disk_directed_io::{CollectiveFile, LayoutPolicy, MachineConfig, Method, TransferOutcome};
+
+/// One pass of the out-of-core loop: read the slab, "compute", write it back.
+fn one_pass(file: &CollectiveFile, method: Method, seed: u64) -> (TransferOutcome, TransferOutcome) {
+    let read = file
+        .read_distributed("rbb", 8192, method, seed)
+        .expect("valid slab read");
+    // The compute phase does no I/O; it does not affect I/O throughput.
+    let write = file
+        .write_distributed("wbb", 8192, method, seed + 1)
+        .expect("valid slab write");
+    (read, write)
+}
+
+fn main() {
+    // The scratch slab: 2 MiB per memoryload, BLOCK/BLOCK distributed.
+    let config = MachineConfig {
+        file_bytes: 2 * 1024 * 1024,
+        layout: LayoutPolicy::Contiguous,
+        ..MachineConfig::default()
+    };
+    let file = CollectiveFile::new(config.clone());
+    let passes = 4;
+
+    println!(
+        "Out-of-core loop: {passes} passes of load + store of a {} MiB slab",
+        config.file_bytes / (1024 * 1024)
+    );
+    println!(
+        "{:<12}{:>16}{:>16}{:>18}",
+        "method", "read MiB/s", "write MiB/s", "I/O time (all passes)"
+    );
+
+    for method in [Method::TraditionalCaching, Method::DiskDirectedSorted] {
+        let mut read_rate = 0.0;
+        let mut write_rate = 0.0;
+        let mut total_io = ddio_sim::SimDuration::ZERO;
+        for pass in 0..passes {
+            let (read, write) = one_pass(&file, method, 100 + pass as u64 * 2);
+            read_rate += read.throughput_mibs;
+            write_rate += write.throughput_mibs;
+            total_io += read.elapsed + write.elapsed;
+        }
+        println!(
+            "{:<12}{:>16.2}{:>16.2}{:>18}",
+            method.label(),
+            read_rate / passes as f64,
+            write_rate / passes as f64,
+            format!("{total_io}"),
+        );
+    }
+
+    println!("\nFor out-of-core algorithms the scratch-file bandwidth bounds the whole");
+    println!("computation; disk-directed I/O keeps every pass at the hardware limit.");
+}

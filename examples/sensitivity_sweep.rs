@@ -1,0 +1,44 @@
+//! A miniature sensitivity study in the style of Figures 7 and 8: scale the
+//! number of disks behind a single IOP and watch the bus become the
+//! bottleneck on the contiguous layout but not on the random layout.
+//!
+//! Run with: `cargo run --release --example sensitivity_sweep`
+
+use disk_directed_io::core::experiment::{run_sensitivity_sweep, Vary};
+use disk_directed_io::{LayoutPolicy, MachineConfig, Method};
+
+fn main() {
+    let disks = [1usize, 2, 4, 8];
+    for layout in [LayoutPolicy::Contiguous, LayoutPolicy::RandomBlocks] {
+        let base = MachineConfig {
+            n_iops: 1,
+            file_bytes: 2 * 1024 * 1024,
+            layout,
+            ..MachineConfig::default()
+        };
+        println!(
+            "Layout: {} (single IOP, single 10 MB/s bus), DDIO with presort, pattern rb",
+            layout.short_name()
+        );
+        let points = run_sensitivity_sweep(
+            &base,
+            Vary::Disks,
+            &disks,
+            &[Method::DiskDirectedSorted],
+            2,
+            7,
+        );
+        println!("{:<8}{:>14}{:>14}", "disks", "rb MiB/s", "hw limit");
+        for &d in &disks {
+            if let Some(p) = points
+                .iter()
+                .find(|p| p.value == d && p.pattern == "rb")
+            {
+                println!("{d:<8}{:>14.2}{:>14.1}", p.summary.mean, p.hardware_limit_mibs);
+            }
+        }
+        println!();
+    }
+    println!("On the contiguous layout the disks saturate the bus quickly; on the");
+    println!("random layout each disk is so much slower that the bus never limits.");
+}

@@ -1,0 +1,119 @@
+//! Cross-crate integration tests: every access pattern, both file systems,
+//! both layouts, on a small machine — verifying that every byte lands exactly
+//! where the pattern says it should.
+
+use disk_directed_io::{
+    run_transfer, AccessPattern, LayoutPolicy, MachineConfig, Method,
+};
+
+fn small_config(layout: LayoutPolicy) -> MachineConfig {
+    MachineConfig {
+        n_cps: 4,
+        n_iops: 2,
+        n_disks: 4,
+        file_bytes: 256 * 1024,
+        layout,
+        verify: true,
+        ..MachineConfig::default()
+    }
+}
+
+fn check_all_patterns(method: Method, layout: LayoutPolicy, record_bytes: u64) {
+    let config = small_config(layout);
+    for pattern in AccessPattern::paper_all_patterns() {
+        let outcome = run_transfer(&config, method, pattern, record_bytes, 42);
+        let verify = outcome
+            .verify
+            .as_ref()
+            .expect("verification was requested");
+        assert!(
+            verify.complete,
+            "{} {} on {:?} layout failed verification: {}",
+            method.label(),
+            pattern.name(),
+            layout,
+            verify.detail
+        );
+        assert!(
+            outcome.throughput_mibs > 0.0,
+            "{} {} produced zero throughput",
+            method.label(),
+            pattern.name()
+        );
+        // The transfer must move the whole file (times n_cps for ra).
+        let expected = if pattern.is_all() {
+            config.file_bytes * config.n_cps as u64
+        } else {
+            config.file_bytes
+        };
+        assert_eq!(outcome.transferred_bytes, expected);
+    }
+}
+
+#[test]
+fn traditional_caching_places_every_byte_contiguous_layout() {
+    check_all_patterns(Method::TraditionalCaching, LayoutPolicy::Contiguous, 8192);
+}
+
+#[test]
+fn traditional_caching_places_every_byte_random_layout() {
+    check_all_patterns(Method::TraditionalCaching, LayoutPolicy::RandomBlocks, 8192);
+}
+
+#[test]
+fn disk_directed_places_every_byte_contiguous_layout() {
+    check_all_patterns(Method::DiskDirectedSorted, LayoutPolicy::Contiguous, 8192);
+}
+
+#[test]
+fn disk_directed_places_every_byte_random_layout() {
+    check_all_patterns(Method::DiskDirected, LayoutPolicy::RandomBlocks, 8192);
+}
+
+#[test]
+fn small_records_are_placed_correctly_too() {
+    // 64-byte records exercise sub-block requests and per-record routing
+    // without the full cost of the 8-byte stress runs.
+    let config = MachineConfig {
+        file_bytes: 64 * 1024,
+        ..small_config(LayoutPolicy::Contiguous)
+    };
+    for name in ["rc", "rcc", "rbc", "wc", "wcc"] {
+        let pattern = AccessPattern::parse(name).unwrap();
+        for method in [Method::TraditionalCaching, Method::DiskDirectedSorted] {
+            let outcome = run_transfer(&config, method, pattern, 64, 7);
+            assert!(
+                outcome.verify.as_ref().unwrap().complete,
+                "{} {name}: {}",
+                method.label(),
+                outcome.verify.as_ref().unwrap().detail
+            );
+        }
+    }
+}
+
+#[test]
+fn uneven_division_of_blocks_and_cps_still_verifies() {
+    // 3 CPs do not divide 40 blocks; 6 disks over 3 IOPs; last block short.
+    let config = MachineConfig {
+        n_cps: 3,
+        n_iops: 3,
+        n_disks: 6,
+        file_bytes: 323 * 1024, // not a multiple of the block size
+        layout: LayoutPolicy::RandomBlocks,
+        verify: true,
+        ..MachineConfig::default()
+    };
+    for name in ["rb", "rc", "rcn", "wb", "wcc"] {
+        let pattern = AccessPattern::parse(name).unwrap();
+        for method in [Method::TraditionalCaching, Method::DiskDirectedSorted] {
+            let outcome = run_transfer(&config, method, pattern, 1024, 99);
+            assert!(
+                outcome.verify.as_ref().unwrap().complete,
+                "{} {name}: {}",
+                method.label(),
+                outcome.verify.as_ref().unwrap().detail
+            );
+        }
+    }
+}
