@@ -16,7 +16,8 @@ fn bench_timer_wheel(c: &mut Criterion) {
                     let ctx = ctx.clone();
                     sim.spawn(async move {
                         for round in 0..10u64 {
-                            ctx.sleep(SimDuration::from_micros((i + round) % 17 + 1)).await;
+                            ctx.sleep(SimDuration::from_micros((i + round) % 17 + 1))
+                                .await;
                         }
                     });
                 }

@@ -17,7 +17,10 @@ fn main() {
     // IOP counts that divide 16 disks evenly.
     let iop_counts = [1usize, 2, 4, 8, 16];
 
-    println!("Figure 6: varying the number of IOPs ({})", scale.describe());
+    println!(
+        "Figure 6: varying the number of IOPs ({})",
+        scale.describe()
+    );
     let points = run_sensitivity_sweep(
         &base,
         Vary::Iops,

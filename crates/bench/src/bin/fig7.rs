@@ -16,7 +16,10 @@ fn main() {
     let methods = [Method::TraditionalCaching, Method::DiskDirectedSorted];
     let disk_counts = [1usize, 2, 4, 8, 16, 32];
 
-    println!("Figure 7: varying the number of disks, one IOP, contiguous layout ({})", scale.describe());
+    println!(
+        "Figure 7: varying the number of disks, one IOP, contiguous layout ({})",
+        scale.describe()
+    );
     let points = run_sensitivity_sweep(
         &base,
         Vary::Disks,

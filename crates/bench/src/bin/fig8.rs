@@ -14,7 +14,10 @@ fn main() {
     let methods = [Method::TraditionalCaching, Method::DiskDirectedSorted];
     let disk_counts = [1usize, 2, 4, 8, 16, 32];
 
-    println!("Figure 8: varying the number of disks, one IOP, random-blocks layout ({})", scale.describe());
+    println!(
+        "Figure 8: varying the number of disks, one IOP, random-blocks layout ({})",
+        scale.describe()
+    );
     let points = run_sensitivity_sweep(
         &base,
         Vary::Disks,

@@ -24,7 +24,11 @@ fn main() {
             config.n_iops.to_string(),
         ),
         ("Disks", "16".into(), config.n_disks.to_string()),
-        ("CPU speed, type", "50 MHz RISC".into(), "50 MHz RISC (cost model)".into()),
+        (
+            "CPU speed, type",
+            "50 MHz RISC".into(),
+            "50 MHz RISC (cost model)".into(),
+        ),
         ("Disk type", "HP 97560".into(), "HP 97560 model".into()),
         (
             "Disk capacity",
@@ -69,11 +73,19 @@ fn main() {
             "20 ns per router".into(),
             format!("{} ns per router", config.net.router_latency.as_nanos()),
         ),
-        ("Routing", "wormhole".into(), "wormhole latency model".into()),
+        (
+            "Routing",
+            "wormhole".into(),
+            "wormhole latency model".into(),
+        ),
         (
             "File size",
             "10 MB (1280 8-KB blocks)".into(),
-            format!("{} MB ({} blocks)", config.file_bytes / (1024 * 1024), config.n_blocks()),
+            format!(
+                "{} MB ({} blocks)",
+                config.file_bytes / (1024 * 1024),
+                config.n_blocks()
+            ),
         ),
     ];
     for (name, paper, ours) in rows {

@@ -1,0 +1,90 @@
+//! Smoke tests for the figure binaries: run `table1` and `fig3`..`fig8` at
+//! reduced scale (1 MiB file, one trial) so the exhibits can't silently rot.
+//!
+//! Each test asserts a successful exit and a couple of landmark strings in
+//! the output, not exact numbers — the figures' values are covered by the
+//! statistical assertions in the workspace's `tests/headline_claims.rs`.
+
+use std::process::{Command, Output};
+
+/// Runs a figure binary with the reduced-scale environment pinned, so an
+/// ambient `DDIO_*` setting can't slow the test suite down.
+fn run_reduced(exe: &str) -> Output {
+    Command::new(exe)
+        .env("DDIO_FILE_MB", "1")
+        .env("DDIO_TRIALS", "1")
+        .env("DDIO_SMALL_RECORDS", "0")
+        .env("DDIO_SEED", "1994")
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {exe}: {e}"))
+}
+
+fn stdout_of(exe: &str, landmarks: &[&str]) -> String {
+    let out = run_reduced(exe);
+    assert!(
+        out.status.success(),
+        "{exe} exited with {:?}\nstderr:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    for landmark in landmarks {
+        assert!(
+            stdout.contains(landmark),
+            "{exe} output missing {landmark:?}:\n{stdout}"
+        );
+    }
+    stdout
+}
+
+#[test]
+fn table1_prints_the_machine_parameters() {
+    stdout_of(
+        env!("CARGO_BIN_EXE_table1"),
+        &["Table 1", "HP 97560", "6x6 torus", "1 MB"],
+    );
+}
+
+#[test]
+fn fig3_covers_every_pattern_at_reduced_scale() {
+    let out = stdout_of(env!("CARGO_BIN_EXE_fig3"), &["Figure 3", "ra"]);
+    // All 19 patterns of the figure should appear as data rows.
+    for name in [
+        "rn", "rb", "rc", "rnb", "rbb", "rcb", "rbc", "rcc", "rcn", "wn", "wb", "wc", "wnb", "wbb",
+        "wcb", "wbc", "wcc", "wcn",
+    ] {
+        assert!(
+            out.lines()
+                .any(|l| l.split_whitespace().next() == Some(name)),
+            "fig3 missing pattern row {name:?}:\n{out}"
+        );
+    }
+}
+
+#[test]
+fn fig4_runs_the_contiguous_layout() {
+    stdout_of(env!("CARGO_BIN_EXE_fig4"), &["Figure 4", "rb"]);
+}
+
+#[test]
+fn fig5_runs_the_cp_sweep() {
+    stdout_of(env!("CARGO_BIN_EXE_fig5"), &["Figure 5", "number of CPs"]);
+}
+
+#[test]
+fn fig6_runs_the_iop_sweep() {
+    stdout_of(env!("CARGO_BIN_EXE_fig6"), &["Figure 6", "number of IOPs"]);
+}
+
+#[test]
+fn fig7_runs_the_contiguous_disk_sweep() {
+    stdout_of(env!("CARGO_BIN_EXE_fig7"), &["Figure 7", "number of disks"]);
+}
+
+#[test]
+fn fig8_runs_the_random_layout_disk_sweep() {
+    stdout_of(
+        env!("CARGO_BIN_EXE_fig8"),
+        &["Figure 8", "random-blocks layout"],
+    );
+}

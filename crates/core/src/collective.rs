@@ -123,7 +123,13 @@ impl CollectiveFile {
         seed: u64,
     ) -> Result<TransferOutcome, CollectiveError> {
         let pattern = self.check(pattern_name, record_bytes, false)?;
-        Ok(run_transfer(&self.config, method, pattern, record_bytes, seed))
+        Ok(run_transfer(
+            &self.config,
+            method,
+            pattern,
+            record_bytes,
+            seed,
+        ))
     }
 
     /// Collectively writes the CP memories to the file according to
@@ -136,7 +142,13 @@ impl CollectiveFile {
         seed: u64,
     ) -> Result<TransferOutcome, CollectiveError> {
         let pattern = self.check(pattern_name, record_bytes, true)?;
-        Ok(run_transfer(&self.config, method, pattern, record_bytes, seed))
+        Ok(run_transfer(
+            &self.config,
+            method,
+            pattern,
+            record_bytes,
+            seed,
+        ))
     }
 }
 

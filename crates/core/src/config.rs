@@ -274,7 +274,10 @@ impl MachineConfig {
             per_disk_blocks <= disk_capacity_blocks,
             "file does not fit: {per_disk_blocks} blocks per disk but capacity is {disk_capacity_blocks}"
         );
-        assert!(self.ddio_buffers_per_disk >= 1, "DDIO needs at least one buffer per disk");
+        assert!(
+            self.ddio_buffers_per_disk >= 1,
+            "DDIO needs at least one buffer per disk"
+        );
         assert!(
             self.cache_buffers_per_disk_per_cp >= 1,
             "traditional caching needs at least one buffer per disk per CP"
@@ -356,10 +359,7 @@ mod tests {
     fn cost_model_helpers() {
         let m = CostModel::default();
         assert_eq!(m.memcpy_time(400_000_000).as_secs_f64(), 1.0);
-        assert_eq!(
-            m.tc_iop_request_cpu(),
-            SimDuration::from_micros(70),
-        );
+        assert_eq!(m.tc_iop_request_cpu(), SimDuration::from_micros(70),);
     }
 
     #[test]

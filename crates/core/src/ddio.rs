@@ -71,7 +71,12 @@ impl IopServer {
             // Fire-and-forget so Memputs to many CPs proceed concurrently.
             self.run
                 .net
-                .post(self.parts.node, self.run.config.cp_node(piece.cp), bytes, msg)
+                .post(
+                    self.parts.node,
+                    self.run.config.cp_node(piece.cp),
+                    bytes,
+                    msg,
+                )
                 .await;
         }
     }
@@ -99,14 +104,22 @@ impl IopServer {
             let bytes = costs.message_header_bytes + msg.payload_bytes();
             self.run
                 .net
-                .post(self.parts.node, self.run.config.cp_node(piece.cp), bytes, msg)
+                .post(
+                    self.parts.node,
+                    self.run.config.cp_node(piece.cp),
+                    bytes,
+                    msg,
+                )
                 .await;
         }
         arrived.wait().await;
 
         self.parts.bus.transfer(bytes).await;
-        disk.io(DiskRequest::write(job.start_sector, self.sectors_for(bytes)))
-            .await;
+        disk.io(DiskRequest::write(
+            job.start_sector,
+            self.sectors_for(bytes),
+        ))
+        .await;
         self.run.record_file_bytes(bstart, bend - bstart);
     }
 
@@ -268,9 +281,9 @@ pub(crate) fn spawn_transfer(
                             None => panic!("IOP received MemgetReply for unknown id {id}"),
                         }
                     }
-                    other => panic!(
-                        "IOP received unexpected message under disk-directed I/O: {other:?}"
-                    ),
+                    other => {
+                        panic!("IOP received unexpected message under disk-directed I/O: {other:?}")
+                    }
                 }
             }
         });

@@ -221,7 +221,11 @@ mod tests {
             let mut sectors: Vec<u64> = blocks.iter().map(|&(_, s)| s).collect();
             sectors.sort_unstable();
             sectors.dedup();
-            assert_eq!(sectors.len(), blocks.len(), "disk {disk} has colliding blocks");
+            assert_eq!(
+                sectors.len(),
+                blocks.len(),
+                "disk {disk} has colliding blocks"
+            );
             // The spread should cover much more than the 80-block file extent.
             let span = sectors.last().unwrap() - sectors.first().unwrap();
             assert!(

@@ -326,4 +326,3 @@ fn verify_transfer(pattern: &PatternInstance, v: &VerifyState) -> VerifyReport {
         }
     }
 }
-

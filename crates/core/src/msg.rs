@@ -148,10 +148,7 @@ mod tests {
             .payload_bytes(),
             0
         );
-        assert_eq!(
-            FsMessage::MemgetReply { id: 9, piece }.payload_bytes(),
-            512
-        );
+        assert_eq!(FsMessage::MemgetReply { id: 9, piece }.payload_bytes(), 512);
         assert_eq!(FsMessage::TcSyncDone.payload_bytes(), 0);
     }
 }

@@ -133,7 +133,8 @@ impl IopServer {
                 let (_entry, evicted) = self.cache.borrow_mut().insert_filling(block, reason);
                 if let Some(victim) = evicted {
                     if victim.dirty {
-                        self.flush_block(victim.block, victim.written_bytes.max(1)).await;
+                        self.flush_block(victim.block, victim.written_bytes.max(1))
+                            .await;
                     }
                 }
                 if !allocate_only {
@@ -184,6 +185,7 @@ impl IopServer {
 
     /// Handles one CP request (runs as its own task, like the paper's
     /// per-request IOP threads).
+    #[allow(clippy::too_many_arguments)] // mirrors the on-the-wire request fields
     async fn handle_request(
         self: Rc<Self>,
         ctx: SimContext,
@@ -205,12 +207,11 @@ impl IopServer {
                 self.ensure_block(&ctx, block, true).await;
                 // Copy the arriving data into the cache buffer (the one
                 // memory-memory copy of the traditional path).
-                self.parts
-                    .cpu
-                    .use_for(costs.memcpy_time(len as u64))
-                    .await;
-                self.run
-                    .record_file_bytes(block * self.run.layout.block_bytes() + offset as u64, len as u64);
+                self.parts.cpu.use_for(costs.memcpy_time(len as u64)).await;
+                self.run.record_file_bytes(
+                    block * self.run.layout.block_bytes() + offset as u64,
+                    len as u64,
+                );
                 let written = self.cache.borrow_mut().record_write(block, len as u64);
                 if written >= self.block_bytes(block) {
                     // Write-behind: flush the now-full block in the background.
@@ -293,17 +294,26 @@ impl CpClient {
         let bytes = costs.message_header_bytes + request.payload_bytes();
         self.run
             .net
-            .send(self.parts.node, self.run.config.iop_node(iop), bytes, request)
+            .send(
+                self.parts.node,
+                self.run.config.iop_node(iop),
+                bytes,
+                request,
+            )
             .await;
 
         let reply = rx.await.expect("IOP dropped a request");
         self.parts.cpu.use_for(costs.cp_mem_msg_cpu).await;
-        if let FsMessage::TcReply { op: AccessKind::Read, len, .. } = reply {
+        if let FsMessage::TcReply {
+            op: AccessKind::Read,
+            len,
+            ..
+        } = reply
+        {
             self.run
                 .record_cp_bytes(self.parts.cp, sub.mem_offset, len as u64);
         } else {
-            self.run
-                .record_cp_bytes(self.parts.cp, sub.mem_offset, 0);
+            self.run.record_cp_bytes(self.parts.cp, sub.mem_offset, 0);
         }
     }
 
@@ -384,7 +394,9 @@ pub(crate) fn spawn_transfer(
                             server.handle_sync(cp).await;
                         });
                     }
-                    other => panic!("IOP received unexpected message under traditional caching: {other:?}"),
+                    other => panic!(
+                        "IOP received unexpected message under traditional caching: {other:?}"
+                    ),
                 }
             }
         });
@@ -451,7 +463,9 @@ pub(crate) fn spawn_transfer(
                 let countdown = CountdownEvent::new(n_iops as u64);
                 *client.sync_done.borrow_mut() = Some(countdown.clone());
                 for iop in 0..n_iops {
-                    let msg = FsMessage::TcSync { cp: client.parts.cp };
+                    let msg = FsMessage::TcSync {
+                        cp: client.parts.cp,
+                    };
                     client
                         .run
                         .net

@@ -24,9 +24,7 @@ impl IntervalSet {
         }
         let end = start + len;
         // Find insertion point by start offset.
-        let idx = self
-            .intervals
-            .partition_point(|&(s, _)| s < start);
+        let idx = self.intervals.partition_point(|&(s, _)| s < start);
         // Check overlap with neighbours.
         if idx > 0 && self.intervals[idx - 1].1 > start {
             self.overlapped = true;
@@ -95,7 +93,10 @@ impl PendingCounter {
     /// Panics if called more times than [`PendingCounter::begin`].
     pub fn end(&self) {
         let mut inner = self.inner.borrow_mut();
-        assert!(inner.count > 0, "PendingCounter::end without matching begin");
+        assert!(
+            inner.count > 0,
+            "PendingCounter::end without matching begin"
+        );
         inner.count -= 1;
         if inner.count == 0 {
             for w in inner.waiters.drain(..) {

@@ -8,24 +8,26 @@ use ddio_sim::SimRng;
 
 fn arb_config() -> impl Strategy<Value = MachineConfig> {
     (
-        1usize..=8,                   // IOPs
-        1usize..=4,                   // disks per IOP
-        1u64..=64,                    // file size in blocks (possibly short last block)
-        0u64..8192,                   // extra bytes beyond whole blocks
-        prop::bool::ANY,              // layout policy
+        1usize..=8,      // IOPs
+        1usize..=4,      // disks per IOP
+        1u64..=64,       // file size in blocks (possibly short last block)
+        0u64..8192,      // extra bytes beyond whole blocks
+        prop::bool::ANY, // layout policy
     )
-        .prop_map(|(n_iops, per_iop, blocks, extra, contiguous)| MachineConfig {
-            n_cps: 4,
-            n_iops,
-            n_disks: n_iops * per_iop,
-            file_bytes: (blocks * 8192 + extra).max(1),
-            layout: if contiguous {
-                LayoutPolicy::Contiguous
-            } else {
-                LayoutPolicy::RandomBlocks
+        .prop_map(
+            |(n_iops, per_iop, blocks, extra, contiguous)| MachineConfig {
+                n_cps: 4,
+                n_iops,
+                n_disks: n_iops * per_iop,
+                file_bytes: (blocks * 8192 + extra).max(1),
+                layout: if contiguous {
+                    LayoutPolicy::Contiguous
+                } else {
+                    LayoutPolicy::RandomBlocks
+                },
+                ..MachineConfig::default()
             },
-            ..MachineConfig::default()
-        })
+        )
 }
 
 proptest! {

@@ -114,7 +114,9 @@ mod tests {
             let completions = Rc::clone(&completions);
             sim.spawn(async move {
                 let b = disk.io(DiskRequest::read(i * 16, 16)).await;
-                completions.borrow_mut().push((i, ctx.now(), b.sequential_hit));
+                completions
+                    .borrow_mut()
+                    .push((i, ctx.now(), b.sequential_hit));
             });
         }
         sim.run();
@@ -151,7 +153,10 @@ mod tests {
         let end = sim.run();
         // The drive is a single server: total elapsed time equals the sum of
         // individual service times (no overlap).
-        assert_eq!(end.duration_since(ddio_sim::SimTime::ZERO), total_busy.get());
+        assert_eq!(
+            end.duration_since(ddio_sim::SimTime::ZERO),
+            total_busy.get()
+        );
         assert_eq!(disk.stats().requests, 10);
     }
 

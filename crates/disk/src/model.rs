@@ -212,7 +212,11 @@ impl DiskModel {
                     return None;
                 }
                 let earliest = now + self.params.cache_hit_overhead;
-                let done = if media_done > earliest { media_done } else { earliest };
+                let done = if media_done > earliest {
+                    media_done
+                } else {
+                    earliest
+                };
                 let total = done - now;
                 Some(ServiceBreakdown {
                     overhead: self.params.cache_hit_overhead,
@@ -365,7 +369,10 @@ mod tests {
         let b0 = m.service(DiskRequest::write(0, BLOCK_SECTORS), SimTime::ZERO);
         // Arrive a long time later: the start sector has rotated past.
         let late = SimTime::ZERO + b0.total + SimDuration::from_millis(100);
-        let b1 = m.service(DiskRequest::write(BLOCK_SECTORS as u64, BLOCK_SECTORS), late);
+        let b1 = m.service(
+            DiskRequest::write(BLOCK_SECTORS as u64, BLOCK_SECTORS),
+            late,
+        );
         assert!(!b1.sequential_hit);
         assert!(b1.rotation > SimDuration::ZERO || b1.seek > SimDuration::ZERO);
     }
@@ -382,7 +389,10 @@ mod tests {
         // 10 ms later (still within the 256-sector cache window) it is ready
         // immediately: only the hit overhead.
         let at2 = at + b1.total + SimDuration::from_millis(10);
-        let b2 = m.service(DiskRequest::read(2 * BLOCK_SECTORS as u64, BLOCK_SECTORS), at2);
+        let b2 = m.service(
+            DiskRequest::read(2 * BLOCK_SECTORS as u64, BLOCK_SECTORS),
+            at2,
+        );
         assert!(b2.sequential_hit);
         assert_eq!(b2.total, DiskParams::hp_97560().cache_hit_overhead);
     }
@@ -442,7 +452,10 @@ mod tests {
         let count = 200u64;
         for i in 0..count {
             let lbn = (i * 104_729 + 7) % n_blocks; // pseudo-random walk
-            let b = m.service(DiskRequest::read(lbn * BLOCK_SECTORS as u64, BLOCK_SECTORS), now);
+            let b = m.service(
+                DiskRequest::read(lbn * BLOCK_SECTORS as u64, BLOCK_SECTORS),
+                now,
+            );
             now += b.total;
         }
         let avg_ms = now.as_secs_f64() * 1e3 / count as f64;

@@ -114,7 +114,11 @@ mod tests {
         let c = SeekCurve::HP_97560;
         let below = c.seek_time(c.threshold - 1).as_millis_f64();
         let at = c.seek_time(c.threshold).as_millis_f64();
-        assert!((at - below).abs() < 0.5, "discontinuity of {} ms", at - below);
+        assert!(
+            (at - below).abs() < 0.5,
+            "discontinuity of {} ms",
+            at - below
+        );
     }
 
     #[test]

@@ -251,7 +251,10 @@ mod tests {
                 let mut mem = vec![false; inst.cp_bytes(cp) as usize];
                 for c in inst.chunks_for_cp(cp) {
                     for b in c.mem_offset..c.mem_offset + c.bytes {
-                        assert!(!mem[b as usize], "{name}: CP {cp} mem byte {b} written twice");
+                        assert!(
+                            !mem[b as usize],
+                            "{name}: CP {cp} mem byte {b} written twice"
+                        );
                         mem[b as usize] = true;
                     }
                 }
@@ -320,8 +323,24 @@ mod tests {
         let cyclic = inst("rc", 4, 16, 64);
         let pieces = cyclic.pieces_in(32, 64);
         assert_eq!(pieces.len(), 2);
-        assert_eq!(pieces[0], Chunk { cp: 0, file_offset: 32, bytes: 32, mem_offset: 32 });
-        assert_eq!(pieces[1], Chunk { cp: 1, file_offset: 64, bytes: 32, mem_offset: 0 });
+        assert_eq!(
+            pieces[0],
+            Chunk {
+                cp: 0,
+                file_offset: 32,
+                bytes: 32,
+                mem_offset: 32
+            }
+        );
+        assert_eq!(
+            pieces[1],
+            Chunk {
+                cp: 1,
+                file_offset: 64,
+                bytes: 32,
+                mem_offset: 0
+            }
+        );
     }
 
     #[test]

@@ -110,10 +110,12 @@ impl AccessPattern {
 
     /// The read patterns evaluated in Figures 3 and 4, in the paper's order.
     pub fn paper_read_patterns() -> Vec<AccessPattern> {
-        ["ra", "rn", "rb", "rc", "rnb", "rbb", "rcb", "rbc", "rcc", "rcn"]
-            .iter()
-            .map(|n| AccessPattern::parse(n).expect("known pattern"))
-            .collect()
+        [
+            "ra", "rn", "rb", "rc", "rnb", "rbb", "rcb", "rbc", "rcc", "rcn",
+        ]
+        .iter()
+        .map(|n| AccessPattern::parse(n).expect("known pattern"))
+        .collect()
     }
 
     /// The write patterns evaluated in Figures 3 and 4, in the paper's order.
@@ -494,14 +496,14 @@ mod tests {
                 continue;
             }
             let inst = PatternInstance::new(pattern, 16, 1280, 8192);
-            let mut per_cp = vec![0u64; 16];
+            let mut per_cp = [0u64; 16];
             for r in 0..inst.n_records() {
                 let (cp, _) = inst.owner_of(r);
                 per_cp[cp] += 1;
             }
-            for cp in 0..16 {
+            for (cp, &count) in per_cp.iter().enumerate() {
                 assert_eq!(
-                    per_cp[cp],
+                    count,
                     inst.cp_record_count(cp),
                     "pattern {} CP {cp}",
                     pattern.name()

@@ -11,7 +11,12 @@ fn arb_pattern() -> impl Strategy<Value = AccessPattern> {
 }
 
 fn arb_instance() -> impl Strategy<Value = PatternInstance> {
-    (arb_pattern(), 1usize..=8, 1u64..=6, prop::sample::select(vec![8u64, 64, 512, 1024]))
+    (
+        arb_pattern(),
+        1usize..=8,
+        1u64..=6,
+        prop::sample::select(vec![8u64, 64, 512, 1024]),
+    )
         .prop_map(|(pattern, n_cps, blocks, record_bytes)| {
             // Keep the file small (a few "blocks" of 1 KiB) so the exhaustive
             // coverage checks stay fast.

@@ -7,8 +7,30 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// The golden-ratio increment of SplitMix64's state walk.
+const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// SplitMix64's avalanche finalizer, shared by the stream generator and
+/// [`SimRng::derive`].
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// SplitMix64: a tiny, high-quality, self-contained generator (the build
+/// environment has no registry access, so `rand` is not available).
+#[derive(Debug, Clone)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GAMMA);
+        mix64(self.state)
+    }
+}
 
 /// A cloneable, seeded random-number generator shared by the components of
 /// one simulated trial.
@@ -17,7 +39,7 @@ use rand::{Rng, SeedableRng};
 /// components interleave deterministically given a deterministic executor.
 #[derive(Clone)]
 pub struct SimRng {
-    inner: Rc<RefCell<StdRng>>,
+    inner: Rc<RefCell<SplitMix64>>,
     seed: u64,
 }
 
@@ -25,7 +47,7 @@ impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
         SimRng {
-            inner: Rc::new(RefCell::new(StdRng::seed_from_u64(seed))),
+            inner: Rc::new(RefCell::new(SplitMix64 { state: seed })),
             seed,
         }
     }
@@ -41,14 +63,11 @@ impl SimRng {
     /// Used to give each disk its own layout stream so that varying the
     /// number of disks does not perturb the layouts of the others.
     pub fn derive(&self, stream: u64) -> SimRng {
-        // SplitMix64-style mixing of (seed, stream) into a new seed.
-        let mut z = self
-            .seed
-            .wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(stream.wrapping_add(1)));
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        SimRng::seed_from_u64(z)
+        // Mix (seed, stream) into a new seed.
+        SimRng::seed_from_u64(mix64(
+            self.seed
+                .wrapping_add(GAMMA.wrapping_mul(stream.wrapping_add(1))),
+        ))
     }
 
     /// Uniform integer in `[0, bound)`.
@@ -58,7 +77,9 @@ impl SimRng {
     /// Panics if `bound` is zero.
     pub fn gen_range(&self, bound: u64) -> u64 {
         assert!(bound > 0, "gen_range bound must be positive");
-        self.inner.borrow_mut().gen_range(0..bound)
+        // Multiply-shift keeps the draw unbiased to within 2^-64 without a
+        // rejection loop.
+        ((u128::from(self.inner.borrow_mut().next_u64()) * u128::from(bound)) >> 64) as u64
     }
 
     /// Uniform integer in `[lo, hi)`.
@@ -69,7 +90,8 @@ impl SimRng {
 
     /// Uniform float in `[0, 1)`.
     pub fn gen_f64(&self) -> f64 {
-        self.inner.borrow_mut().gen::<f64>()
+        // 53 uniform mantissa bits, as rand's StandardUniform does.
+        (self.inner.borrow_mut().next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Fisher–Yates shuffle of a slice.

@@ -23,7 +23,9 @@ pub struct Event {
 
 impl std::fmt::Debug for Event {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Event").field("set", &self.is_set()).finish()
+        f.debug_struct("Event")
+            .field("set", &self.is_set())
+            .finish()
     }
 }
 

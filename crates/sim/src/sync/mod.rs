@@ -11,9 +11,7 @@ mod resource;
 mod semaphore;
 
 pub use barrier::{Barrier, BarrierWaitResult};
-pub use channel::{
-    bounded, oneshot, unbounded, Receiver, SendError, Sender, TrySendError,
-};
+pub use channel::{bounded, oneshot, unbounded, Receiver, SendError, Sender, TrySendError};
 pub use event::{CountdownEvent, Event};
 pub use mutex::{SimMutex, SimMutexGuard};
 pub use resource::{Resource, ResourceGuard};

@@ -24,17 +24,18 @@ fn main() {
     let distributions = ["rbb", "rcc", "rcn", "rnb", "rb"];
     let record_bytes = 8192;
 
-    println!("Loading a row-major matrix distributed over {} CPs", config.n_cps);
+    println!(
+        "Loading a row-major matrix distributed over {} CPs",
+        config.n_cps
+    );
     println!(
         "{:<10}{:>14}{:>14}{:>10}",
         "pattern", "TC MiB/s", "DDIO MiB/s", "DDIO/TC"
     );
     for name in distributions {
         let pattern = AccessPattern::parse(name).expect("known pattern");
-        let shape = disk_directed_io::ArrayShape::default_for(
-            pattern,
-            config.file_bytes / record_bytes,
-        );
+        let shape =
+            disk_directed_io::ArrayShape::default_for(pattern, config.file_bytes / record_bytes);
         let tc = file
             .read_distributed(name, record_bytes, Method::TraditionalCaching, 11)
             .expect("valid read");

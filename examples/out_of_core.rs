@@ -10,7 +10,11 @@
 use disk_directed_io::{CollectiveFile, LayoutPolicy, MachineConfig, Method, TransferOutcome};
 
 /// One pass of the out-of-core loop: read the slab, "compute", write it back.
-fn one_pass(file: &CollectiveFile, method: Method, seed: u64) -> (TransferOutcome, TransferOutcome) {
+fn one_pass(
+    file: &CollectiveFile,
+    method: Method,
+    seed: u64,
+) -> (TransferOutcome, TransferOutcome) {
     let read = file
         .read_distributed("rbb", 8192, method, seed)
         .expect("valid slab read");

@@ -30,11 +30,11 @@ fn main() {
         );
         println!("{:<8}{:>14}{:>14}", "disks", "rb MiB/s", "hw limit");
         for &d in &disks {
-            if let Some(p) = points
-                .iter()
-                .find(|p| p.value == d && p.pattern == "rb")
-            {
-                println!("{d:<8}{:>14.2}{:>14.1}", p.summary.mean, p.hardware_limit_mibs);
+            if let Some(p) = points.iter().find(|p| p.value == d && p.pattern == "rb") {
+                println!(
+                    "{d:<8}{:>14.2}{:>14.1}",
+                    p.summary.mean, p.hardware_limit_mibs
+                );
             }
         }
         println!();

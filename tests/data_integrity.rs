@@ -2,9 +2,7 @@
 //! both layouts, on a small machine — verifying that every byte lands exactly
 //! where the pattern says it should.
 
-use disk_directed_io::{
-    run_transfer, AccessPattern, LayoutPolicy, MachineConfig, Method,
-};
+use disk_directed_io::{run_transfer, AccessPattern, LayoutPolicy, MachineConfig, Method};
 
 fn small_config(layout: LayoutPolicy) -> MachineConfig {
     MachineConfig {
@@ -22,10 +20,7 @@ fn check_all_patterns(method: Method, layout: LayoutPolicy, record_bytes: u64) {
     let config = small_config(layout);
     for pattern in AccessPattern::paper_all_patterns() {
         let outcome = run_transfer(&config, method, pattern, record_bytes, 42);
-        let verify = outcome
-            .verify
-            .as_ref()
-            .expect("verification was requested");
+        let verify = outcome.verify.as_ref().expect("verification was requested");
         assert!(
             verify.complete,
             "{} {} on {:?} layout failed verification: {}",

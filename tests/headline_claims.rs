@@ -4,9 +4,7 @@
 //! but only with 8 KB records, which keeps them to a few seconds; the 8-byte
 //! stress results are exercised by the figure binaries instead.
 
-use disk_directed_io::{
-    run_transfer, AccessPattern, LayoutPolicy, MachineConfig, Method,
-};
+use disk_directed_io::{run_transfer, AccessPattern, LayoutPolicy, MachineConfig, Method};
 
 fn paper_config(layout: LayoutPolicy) -> MachineConfig {
     MachineConfig {

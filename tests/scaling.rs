@@ -26,13 +26,19 @@ fn single_bus_saturates_with_many_disks() {
     let one = rate(1);
     let four = rate(4);
     let sixteen = rate(16);
-    assert!(four > 2.5 * one, "4 disks ({four:.2}) not ~4x 1 disk ({one:.2})");
+    assert!(
+        four > 2.5 * one,
+        "4 disks ({four:.2}) not ~4x 1 disk ({one:.2})"
+    );
     // The bus is 10 MB/s; 16 disks cannot go much beyond it.
     assert!(
         sixteen < 10.5,
         "16 disks on one bus exceeded the bus limit: {sixteen:.2} MiB/s"
     );
-    assert!(sixteen > four, "throughput should not collapse as disks are added");
+    assert!(
+        sixteen > four,
+        "throughput should not collapse as disks are added"
+    );
 }
 
 /// Figure 8: on the random-blocks layout each disk is slow enough that the
@@ -85,8 +91,14 @@ fn iop_count_moves_the_bottleneck() {
     let one = rate(1);
     let two = rate(2);
     let sixteen = rate(16);
-    assert!(one < 10.5, "one 10 MB/s bus cannot exceed 10 MiB/s: {one:.2}");
-    assert!(two > 1.5 * one, "two buses should roughly double one: {two:.2} vs {one:.2}");
+    assert!(
+        one < 10.5,
+        "one 10 MB/s bus cannot exceed 10 MiB/s: {one:.2}"
+    );
+    assert!(
+        two > 1.5 * one,
+        "two buses should roughly double one: {two:.2} vs {one:.2}"
+    );
     assert!(
         sixteen > 25.0,
         "with one disk per bus the disks should be the limit: {sixteen:.2}"

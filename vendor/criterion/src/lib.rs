@@ -1,0 +1,224 @@
+//! A vendored, dependency-free stand-in for the `criterion` benchmark crate.
+//!
+//! The build environment for this workspace has no access to a crates.io
+//! mirror, so `cargo bench` is driven by this API-compatible subset instead:
+//! [`Criterion`], [`BenchmarkId`], benchmark groups, `criterion_group!` /
+//! `criterion_main!`, and a wall-clock [`Bencher`].
+//!
+//! Instead of criterion's statistical sampling it runs each benchmark for a
+//! small time budget (`DDIO_BENCH_MS` milliseconds per benchmark, default
+//! 200) and reports the mean wall-clock time per iteration — enough to spot
+//! order-of-magnitude regressions and to keep the bench targets compiling
+//! and runnable without the real dependency.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a benchmark's result.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-benchmark time budget, from `DDIO_BENCH_MS` (default 200 ms).
+fn time_budget() -> Duration {
+    let ms = std::env::var("DDIO_BENCH_MS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(200);
+    Duration::from_millis(ms.max(1))
+}
+
+/// Runs one benchmark closure repeatedly and records the mean iteration time.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly until the time budget is spent (at least
+    /// once). Iterations run in geometrically growing batches so the clock
+    /// read is amortized and nanosecond-scale routines aren't dominated by
+    /// `Instant::elapsed` overhead.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let budget = time_budget();
+        let start = Instant::now();
+        let mut batch: u64 = 1;
+        loop {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.iters += batch;
+            let elapsed = start.elapsed();
+            if elapsed >= budget {
+                self.elapsed = elapsed;
+                break;
+            }
+            batch = batch.saturating_mul(2).min(1024);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("{name:<50} (no iterations)");
+            return;
+        }
+        let per_iter = self.elapsed.as_nanos() / u128::from(self.iters);
+        let pretty = if per_iter >= 1_000_000 {
+            format!("{:.3} ms", per_iter as f64 / 1e6)
+        } else if per_iter >= 1_000 {
+            format!("{:.3} us", per_iter as f64 / 1e3)
+        } else {
+            format!("{per_iter} ns")
+        };
+        println!("{name:<50} {pretty}/iter ({} iters)", self.iters);
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; the shim ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim ignores throughput hints.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs `routine` as a benchmark over `input`.
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        routine(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.id));
+        self
+    }
+
+    /// Runs `routine` as a benchmark with no extra input.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut b = Bencher::default();
+        routine(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Ends the group (no-op; reporting happens per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Throughput hint accepted by [`BenchmarkGroup::throughput`].
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The benchmark harness handle passed to every benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut b = Bencher::default();
+        routine(&mut b);
+        b.report(name);
+        self
+    }
+}
+
+/// Bundles benchmark functions into a group runner, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits a `main` that runs the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_at_least_once() {
+        std::env::set_var("DDIO_BENCH_MS", "1");
+        let mut b = Bencher::default();
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert!(count >= 1);
+        assert_eq!(b.iters, count);
+    }
+
+    #[test]
+    fn ids_format_as_expected() {
+        assert_eq!(BenchmarkId::from_parameter(42).id, "42");
+        assert_eq!(BenchmarkId::new("f", "x").id, "f/x");
+    }
+}
