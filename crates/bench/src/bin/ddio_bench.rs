@@ -1,0 +1,8 @@
+//! The unified `ddio-bench` CLI: run any registered scenario (or all of
+//! them) in parallel and emit text tables, JSON, or CSV. See `ddio-bench
+//! --help` and the `ddio_bench::cli` module docs.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(ddio_bench::cli::main_from_args(args));
+}

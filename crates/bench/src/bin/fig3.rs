@@ -1,44 +1,7 @@
-//! Figure 3: TC vs DDIO vs DDIO(sort) on the random-blocks disk layout.
-//!
-//! Reproduces both halves of the figure: (a) 8-byte records and
-//! (b) 8192-byte records, for all 19 access patterns. `ra` throughput is
-//! normalized by the number of CPs, as in the paper.
-
-use ddio_bench::Scale;
-use ddio_core::experiment::{format_pattern_table, run_pattern_sweep};
-use ddio_core::{LayoutPolicy, Method};
+//! Figure 3: TC vs DDIO vs DDIO(sort) on the random-blocks disk layout,
+//! both record sizes, all 19 access patterns. A thin wrapper over the
+//! `fig3` scenario-registry entry (`ddio-bench run fig3`).
 
 fn main() {
-    let scale = Scale::from_env();
-    let base = scale.base_config();
-    let methods = [
-        Method::TraditionalCaching,
-        Method::DiskDirected,
-        Method::DiskDirectedSorted,
-    ];
-
-    println!("Figure 3: random-blocks disk layout ({})", scale.describe());
-    println!();
-
-    let record_sizes: Vec<u64> = if scale.small_records {
-        vec![8192, 8]
-    } else {
-        vec![8192]
-    };
-    for record_bytes in record_sizes {
-        let points = run_pattern_sweep(
-            &base,
-            LayoutPolicy::RandomBlocks,
-            record_bytes,
-            &methods,
-            scale.trials,
-            scale.seed,
-        );
-        let title = format!(
-            "Figure 3{}: {}-byte records, throughput in MiB/s",
-            if record_bytes == 8 { "a" } else { "b" },
-            record_bytes
-        );
-        println!("{}", format_pattern_table(&points, &title));
-    }
+    ddio_bench::run_exhibit("fig3");
 }

@@ -1,45 +1,6 @@
-//! Figure 4: TC vs DDIO on the contiguous disk layout.
-//!
-//! Peak aggregate disk throughput for the default machine is 37.5 MiB/s; the
-//! paper reports disk-directed I/O reaching about 93% of it.
-
-use ddio_bench::Scale;
-use ddio_core::experiment::{format_pattern_table, run_pattern_sweep};
-use ddio_core::{LayoutPolicy, Method};
+//! Figure 4: TC vs DDIO(sort) on the contiguous disk layout. A thin
+//! wrapper over the `fig4` scenario-registry entry (`ddio-bench run fig4`).
 
 fn main() {
-    let scale = Scale::from_env();
-    let base = scale.base_config();
-    // Presorting is irrelevant on the contiguous layout (the block list is
-    // already in physical order), so the figure has just two series.
-    let methods = [Method::TraditionalCaching, Method::DiskDirectedSorted];
-
-    println!("Figure 4: contiguous disk layout ({})", scale.describe());
-    println!(
-        "Aggregate peak disk bandwidth: {:.1} MiB/s",
-        base.peak_disk_bandwidth() / (1024.0 * 1024.0)
-    );
-    println!();
-
-    let record_sizes: Vec<u64> = if scale.small_records {
-        vec![8192, 8]
-    } else {
-        vec![8192]
-    };
-    for record_bytes in record_sizes {
-        let points = run_pattern_sweep(
-            &base,
-            LayoutPolicy::Contiguous,
-            record_bytes,
-            &methods,
-            scale.trials,
-            scale.seed,
-        );
-        let title = format!(
-            "Figure 4{}: {}-byte records, throughput in MiB/s",
-            if record_bytes == 8 { "a" } else { "b" },
-            record_bytes
-        );
-        println!("{}", format_pattern_table(&points, &title));
-    }
+    ddio_bench::run_exhibit("fig4");
 }

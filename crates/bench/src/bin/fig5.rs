@@ -1,33 +1,7 @@
-//! Figure 5: throughput of TC and DDIO as the number of CPs varies.
-//!
-//! Contiguous layout, 8 KB records, patterns ra / rn / rb / rc, 16 IOPs and
-//! 16 disks, cache size maintained at two buffers per disk per CP.
-
-use ddio_bench::Scale;
-use ddio_core::experiment::{format_sensitivity_table, run_sensitivity_sweep, Vary};
-use ddio_core::{LayoutPolicy, Method};
+//! Figure 5: throughput of TC and DDIO as the number of CPs varies
+//! (contiguous layout, 8 KB records). A thin wrapper over the `fig5`
+//! scenario-registry entry (`ddio-bench run fig5`).
 
 fn main() {
-    let scale = Scale::from_env();
-    let mut base = scale.base_config();
-    base.layout = LayoutPolicy::Contiguous;
-    let methods = [Method::TraditionalCaching, Method::DiskDirectedSorted];
-    let cp_counts = [1usize, 2, 4, 8, 16];
-
-    println!("Figure 5: varying the number of CPs ({})", scale.describe());
-    let points = run_sensitivity_sweep(
-        &base,
-        Vary::Cps,
-        &cp_counts,
-        &methods,
-        scale.trials,
-        scale.seed,
-    );
-    println!(
-        "{}",
-        format_sensitivity_table(
-            &points,
-            "Throughput (MiB/s) vs number of CPs; contiguous layout, 8 KB records"
-        )
-    );
+    ddio_bench::run_exhibit("fig5");
 }

@@ -1,39 +1,7 @@
 //! Figure 6: throughput of TC and DDIO as the number of IOPs (and buses)
-//! varies, with the number of disks fixed at 16.
-//!
-//! With one or two IOPs the 10 MB/s bus is the bottleneck; from four IOPs on
-//! the disks are.
-
-use ddio_bench::Scale;
-use ddio_core::experiment::{format_sensitivity_table, run_sensitivity_sweep, Vary};
-use ddio_core::{LayoutPolicy, Method};
+//! varies, disks fixed at 16. A thin wrapper over the `fig6`
+//! scenario-registry entry (`ddio-bench run fig6`).
 
 fn main() {
-    let scale = Scale::from_env();
-    let mut base = scale.base_config();
-    base.layout = LayoutPolicy::Contiguous;
-    base.n_disks = 16;
-    let methods = [Method::TraditionalCaching, Method::DiskDirectedSorted];
-    // IOP counts that divide 16 disks evenly.
-    let iop_counts = [1usize, 2, 4, 8, 16];
-
-    println!(
-        "Figure 6: varying the number of IOPs ({})",
-        scale.describe()
-    );
-    let points = run_sensitivity_sweep(
-        &base,
-        Vary::Iops,
-        &iop_counts,
-        &methods,
-        scale.trials,
-        scale.seed,
-    );
-    println!(
-        "{}",
-        format_sensitivity_table(
-            &points,
-            "Throughput (MiB/s) vs number of IOPs; 16 disks, contiguous layout, 8 KB records"
-        )
-    );
+    ddio_bench::run_exhibit("fig6");
 }

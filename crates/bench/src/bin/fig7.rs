@@ -1,38 +1,7 @@
-//! Figure 7: throughput of TC and DDIO as the number of disks varies, all on
-//! a single IOP (and bus), contiguous layout.
-//!
-//! Performance scales with the disks until the single 10 MB/s bus saturates.
-
-use ddio_bench::Scale;
-use ddio_core::experiment::{format_sensitivity_table, run_sensitivity_sweep, Vary};
-use ddio_core::{LayoutPolicy, Method};
+//! Figure 7: throughput of TC and DDIO as the number of disks varies on a
+//! single IOP, contiguous layout. A thin wrapper over the `fig7`
+//! scenario-registry entry (`ddio-bench run fig7`).
 
 fn main() {
-    let scale = Scale::from_env();
-    let mut base = scale.base_config();
-    base.layout = LayoutPolicy::Contiguous;
-    base.n_iops = 1;
-    base.n_cps = 16;
-    let methods = [Method::TraditionalCaching, Method::DiskDirectedSorted];
-    let disk_counts = [1usize, 2, 4, 8, 16, 32];
-
-    println!(
-        "Figure 7: varying the number of disks, one IOP, contiguous layout ({})",
-        scale.describe()
-    );
-    let points = run_sensitivity_sweep(
-        &base,
-        Vary::Disks,
-        &disk_counts,
-        &methods,
-        scale.trials,
-        scale.seed,
-    );
-    println!(
-        "{}",
-        format_sensitivity_table(
-            &points,
-            "Throughput (MiB/s) vs number of disks; 1 IOP, contiguous layout, 8 KB records"
-        )
-    );
+    ddio_bench::run_exhibit("fig7");
 }

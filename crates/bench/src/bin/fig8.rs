@@ -1,36 +1,7 @@
 //! Figure 8: like Figure 7 (disks varied on a single IOP) but with the
-//! random-blocks layout, where the disks stay the bottleneck throughout.
-
-use ddio_bench::Scale;
-use ddio_core::experiment::{format_sensitivity_table, run_sensitivity_sweep, Vary};
-use ddio_core::{LayoutPolicy, Method};
+//! random-blocks layout. A thin wrapper over the `fig8` scenario-registry
+//! entry (`ddio-bench run fig8`).
 
 fn main() {
-    let scale = Scale::from_env();
-    let mut base = scale.base_config();
-    base.layout = LayoutPolicy::RandomBlocks;
-    base.n_iops = 1;
-    base.n_cps = 16;
-    let methods = [Method::TraditionalCaching, Method::DiskDirectedSorted];
-    let disk_counts = [1usize, 2, 4, 8, 16, 32];
-
-    println!(
-        "Figure 8: varying the number of disks, one IOP, random-blocks layout ({})",
-        scale.describe()
-    );
-    let points = run_sensitivity_sweep(
-        &base,
-        Vary::Disks,
-        &disk_counts,
-        &methods,
-        scale.trials,
-        scale.seed,
-    );
-    println!(
-        "{}",
-        format_sensitivity_table(
-            &points,
-            "Throughput (MiB/s) vs number of disks; 1 IOP, random-blocks layout, 8 KB records"
-        )
-    );
+    ddio_bench::run_exhibit("fig8");
 }

@@ -1,100 +1,7 @@
-//! Table 1: simulator parameters.
-//!
-//! Prints the configured machine parameters side by side with the values the
-//! paper lists, so any deviation is visible at a glance.
-
-use ddio_bench::Scale;
+//! Table 1: simulator parameters, printed side by side with the paper's
+//! values. A thin wrapper over the `table1` scenario-registry entry; the
+//! unified CLI (`ddio-bench run table1`) produces the same report.
 
 fn main() {
-    let scale = Scale::from_env();
-    let config = scale.base_config();
-    let geometry = config.disk.geometry;
-
-    println!("Table 1: Parameters for simulator");
-    println!("{:<38}{:>18}{:>18}", "parameter", "paper", "this repo");
-    let rows: Vec<(&str, String, String)> = vec![
-        (
-            "Compute processors (CPs)",
-            "16".into(),
-            config.n_cps.to_string(),
-        ),
-        (
-            "I/O processors (IOPs)",
-            "16".into(),
-            config.n_iops.to_string(),
-        ),
-        ("Disks", "16".into(), config.n_disks.to_string()),
-        (
-            "CPU speed, type",
-            "50 MHz RISC".into(),
-            "50 MHz RISC (cost model)".into(),
-        ),
-        ("Disk type", "HP 97560".into(), "HP 97560 model".into()),
-        (
-            "Disk capacity",
-            "1.3 GB".into(),
-            format!("{:.2} GB", geometry.capacity_bytes() as f64 / 1e9),
-        ),
-        (
-            "Disk peak transfer rate",
-            "2.34 Mbytes/s".into(),
-            format!(
-                "{:.2} Mbytes/s",
-                geometry.peak_transfer_bytes_per_sec() / (1024.0 * 1024.0)
-            ),
-        ),
-        (
-            "File-system block size",
-            "8 KB".into(),
-            format!("{} KB", config.block_bytes / 1024),
-        ),
-        (
-            "I/O buses (one per IOP)",
-            "16".into(),
-            config.n_iops.to_string(),
-        ),
-        (
-            "I/O bus peak bandwidth",
-            "10 Mbytes/s".into(),
-            format!("{:.0} Mbytes/s", config.bus_bytes_per_sec / 1e6),
-        ),
-        (
-            "Interconnect topology",
-            "6x6 torus".into(),
-            "6x6 torus (fitted)".into(),
-        ),
-        (
-            "Interconnect bandwidth",
-            "200 x 10^6 bytes/s".into(),
-            format!("{:.0} x 10^6 bytes/s", config.net.link_bytes_per_sec / 1e6),
-        ),
-        (
-            "Interconnect latency",
-            "20 ns per router".into(),
-            format!("{} ns per router", config.net.router_latency.as_nanos()),
-        ),
-        (
-            "Routing",
-            "wormhole".into(),
-            "wormhole latency model".into(),
-        ),
-        (
-            "File size",
-            "10 MB (1280 8-KB blocks)".into(),
-            format!(
-                "{} MB ({} blocks)",
-                config.file_bytes / (1024 * 1024),
-                config.n_blocks()
-            ),
-        ),
-    ];
-    for (name, paper, ours) in rows {
-        println!("{name:<38}{paper:>18}{ours:>18}");
-    }
-    println!();
-    println!(
-        "Aggregate peak disk bandwidth: {:.1} MiB/s; bus-limited at {:.1} MiB/s",
-        config.peak_disk_bandwidth() / (1024.0 * 1024.0),
-        config.peak_bus_bandwidth() / (1024.0 * 1024.0)
-    );
+    ddio_bench::run_exhibit("table1");
 }

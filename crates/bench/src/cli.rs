@@ -1,0 +1,393 @@
+//! The `ddio-bench` command line: `list` the registry, `run` any scenario
+//! (or `all`) in parallel, and emit text tables, JSON, or CSV.
+//!
+//! ```text
+//! ddio-bench list
+//! ddio-bench run <scenario>|all [--jobs N] [--format table|json|csv]
+//!                [--out FILE] [--trials N] [--seed N] [--file-mb N]
+//!                [--small-records 0|1]
+//! ```
+//!
+//! The `DDIO_*` environment variables provide the defaults (see the crate
+//! docs); the flags override them. All parsing errors are reported before
+//! any simulation starts.
+
+use std::io::Write;
+
+use ddio_core::experiment::pool;
+use ddio_core::experiment::scenario::{self, Scenario};
+
+use crate::report::{self, ScenarioRun};
+use crate::Scale;
+
+/// Output format of `ddio-bench run`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Human-readable aligned tables (the exhibit binaries' output).
+    Table,
+    /// One JSON document with a stable schema.
+    Json,
+    /// One CSV row per cell.
+    Csv,
+}
+
+/// A fully parsed `run` invocation.
+#[derive(Debug, Clone)]
+pub struct RunCommand {
+    /// Scenarios to run, in registry order.
+    pub scenarios: Vec<Scenario>,
+    /// Worker threads.
+    pub jobs: usize,
+    /// Output format.
+    pub format: Format,
+    /// Output file (stdout when `None`).
+    pub out: Option<String>,
+    /// Scaling knobs after environment + flag resolution.
+    pub scale: Scale,
+}
+
+const USAGE: &str = "\
+ddio-bench: unified scenario runner for the disk-directed-I/O reproduction
+
+USAGE:
+    ddio-bench list
+    ddio-bench run <scenario>|all [OPTIONS]
+
+OPTIONS (run):
+    --jobs N              worker threads (default: all cores)
+    --format table|json|csv   output format (default: table)
+    --out FILE            write the report to FILE instead of stdout
+    --trials N            trials per data point (default: env DDIO_TRIALS or 5)
+    --seed N              base random seed (default: env DDIO_SEED or 1994)
+    --file-mb N           file size in MiB (default: env DDIO_FILE_MB or 10)
+    --small-records 0|1   run the 8-byte-record half of fig3/fig4
+
+Scenarios (see `ddio-bench list`): table1 fig3 fig4 fig5 fig6 fig7 fig8
+mixed-rw degraded-disk record-cp-cross";
+
+fn usage_err(message: impl Into<String>) -> String {
+    format!("{}\n\n{USAGE}", message.into())
+}
+
+/// Parses a numeric flag value that must be a positive integer.
+fn parse_at_least_one(flag: &str, v: &str) -> Result<u64, String> {
+    v.parse::<u64>()
+        .ok()
+        .filter(|&n| n >= 1)
+        .ok_or_else(|| usage_err(format!("{flag} {v:?}: expected an integer >= 1")))
+}
+
+/// Parses `run` arguments. `lookup` supplies the `DDIO_*` environment
+/// (injectable for tests); a knob explicitly set by a flag shadows its
+/// environment variable entirely, so e.g. `--trials 3` works even when a
+/// stale `DDIO_TRIALS=0` would be rejected on its own.
+pub fn parse_run(
+    args: &[String],
+    lookup: impl Fn(&str) -> Option<String>,
+) -> Result<RunCommand, String> {
+    let mut targets: Vec<String> = Vec::new();
+    let mut jobs = pool::default_jobs();
+    let mut format = Format::Table;
+    let mut out = None;
+    let mut trials: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut file_mib: Option<u64> = None;
+    let mut small_records: Option<bool> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut flag_value = |flag: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| usage_err(format!("{flag} requires a value")))
+        };
+        match arg.as_str() {
+            "--jobs" => {
+                jobs = parse_at_least_one("--jobs", &flag_value("--jobs")?)? as usize;
+            }
+            "--format" => {
+                format = match flag_value("--format")?.as_str() {
+                    "table" => Format::Table,
+                    "json" => Format::Json,
+                    "csv" => Format::Csv,
+                    other => {
+                        return Err(usage_err(format!(
+                            "--format {other:?}: expected table, json, or csv"
+                        )))
+                    }
+                };
+            }
+            "--out" => out = Some(flag_value("--out")?),
+            "--trials" => {
+                trials = Some(parse_at_least_one("--trials", &flag_value("--trials")?)? as usize);
+            }
+            "--seed" => {
+                let v = flag_value("--seed")?;
+                seed = Some(v.parse::<u64>().map_err(|_| {
+                    usage_err(format!("--seed {v:?}: expected an unsigned integer"))
+                })?);
+            }
+            "--file-mb" => {
+                file_mib = Some(parse_at_least_one("--file-mb", &flag_value("--file-mb")?)?);
+            }
+            "--small-records" => {
+                let v = flag_value("--small-records")?;
+                small_records = Some(match v.as_str() {
+                    "0" => false,
+                    "1" => true,
+                    other => {
+                        return Err(usage_err(format!(
+                            "--small-records {other:?}: expected 0 or 1"
+                        )))
+                    }
+                });
+            }
+            flag if flag.starts_with("--") => {
+                return Err(usage_err(format!("unknown option {flag:?}")))
+            }
+            name => targets.push(name.to_owned()),
+        }
+    }
+
+    if targets.is_empty() {
+        return Err(usage_err("run: name one or more scenarios, or `all`"));
+    }
+
+    // Resolve the environment only for knobs no flag overrode, then layer
+    // the flag values on top.
+    let mut scale = Scale::from_lookup(|var| {
+        let shadowed = match var {
+            "DDIO_FILE_MB" => file_mib.is_some(),
+            "DDIO_TRIALS" => trials.is_some(),
+            "DDIO_SEED" => seed.is_some(),
+            "DDIO_SMALL_RECORDS" => small_records.is_some(),
+            _ => false,
+        };
+        if shadowed {
+            None
+        } else {
+            lookup(var)
+        }
+    })
+    .map_err(|e| e.to_string())?;
+    if let Some(v) = file_mib {
+        scale.file_mib = v;
+    }
+    if let Some(v) = trials {
+        scale.trials = v;
+    }
+    if let Some(v) = seed {
+        scale.seed = v;
+    }
+    if let Some(v) = small_records {
+        scale.small_records = v;
+    }
+
+    let scenarios = if targets.iter().any(|t| t == "all") {
+        scenario::registry()
+    } else {
+        let mut list = Vec::new();
+        for name in &targets {
+            let s = scenario::find(name).ok_or_else(|| {
+                usage_err(format!("unknown scenario {name:?} (try `ddio-bench list`)"))
+            })?;
+            list.push(s);
+        }
+        list
+    };
+    Ok(RunCommand {
+        scenarios,
+        jobs,
+        format,
+        out,
+        scale,
+    })
+}
+
+/// Executes a parsed `run`: all cells of all requested scenarios go through
+/// one parallel pass, then the report is rendered whole.
+pub fn execute_run(cmd: &RunCommand) -> Result<String, String> {
+    let params = cmd.scale.sweep_params();
+    // Flatten every scenario's cells into one work list so small scenarios
+    // can't leave workers idle while a big one still has cells queued.
+    let mut cells = Vec::new();
+    let mut spans = Vec::new();
+    for s in &cmd.scenarios {
+        let scenario_cells = (s.build)(&params);
+        spans.push(scenario_cells.len());
+        cells.extend(scenario_cells);
+    }
+    let mut results = scenario::run_cells(cells, params.trials, cmd.jobs);
+    let mut runs = Vec::with_capacity(cmd.scenarios.len());
+    for (s, span) in cmd.scenarios.iter().zip(spans) {
+        let rest = results.split_off(span);
+        runs.push(ScenarioRun {
+            scenario: *s,
+            results,
+        });
+        results = rest;
+    }
+    Ok(match cmd.format {
+        Format::Table => report::render_table(&params, &runs),
+        Format::Json => {
+            let mut s = report::render_json(&cmd.scale, &runs);
+            s.push('\n');
+            s
+        }
+        Format::Csv => report::render_csv(&runs),
+    })
+}
+
+/// The registry listing printed by `ddio-bench list`.
+pub fn render_list() -> String {
+    let mut out = String::from("Registered scenarios:\n");
+    for s in scenario::registry() {
+        out.push_str(&format!("  {:<16} {}\n", s.name, s.description));
+    }
+    out
+}
+
+/// Full CLI entry point; returns the process exit code.
+pub fn main_from_args(args: Vec<String>) -> i32 {
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return 2;
+    };
+    match command.as_str() {
+        "list" => {
+            print!("{}", render_list());
+            0
+        }
+        "run" => {
+            let cmd = match parse_run(&args[1..], |var| std::env::var(var).ok()) {
+                Ok(cmd) => cmd,
+                Err(e) => {
+                    eprintln!("ddio-bench: {e}");
+                    return 2;
+                }
+            };
+            let rendered = match execute_run(&cmd) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("ddio-bench: {e}");
+                    return 1;
+                }
+            };
+            match &cmd.out {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(path, rendered) {
+                        eprintln!("ddio-bench: cannot write {path:?}: {e}");
+                        return 1;
+                    }
+                }
+                None => {
+                    let mut stdout = std::io::stdout().lock();
+                    if stdout.write_all(rendered.as_bytes()).is_err() {
+                        return 1;
+                    }
+                }
+            }
+            0
+        }
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            0
+        }
+        other => {
+            eprintln!("ddio-bench: unknown command {other:?}\n\n{USAGE}");
+            2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    /// A smoke-scale environment: 1 MiB file, one trial.
+    fn smoke_env(var: &str) -> Option<String> {
+        match var {
+            "DDIO_FILE_MB" => Some("1".to_owned()),
+            "DDIO_TRIALS" => Some("1".to_owned()),
+            "DDIO_SMALL_RECORDS" => Some("0".to_owned()),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn parse_run_resolves_all_and_flags() {
+        let cmd = parse_run(
+            &args(&["all", "--jobs", "3", "--format", "csv", "--seed", "9"]),
+            smoke_env,
+        )
+        .unwrap();
+        assert_eq!(cmd.scenarios.len(), scenario::registry().len());
+        assert_eq!(cmd.jobs, 3);
+        assert_eq!(cmd.format, Format::Csv);
+        assert_eq!(cmd.scale.seed, 9);
+        assert_eq!(cmd.scale.file_mib, 1, "env knob not picked up");
+    }
+
+    #[test]
+    fn parse_run_rejects_unknowns() {
+        assert!(parse_run(&args(&["no-such"]), smoke_env)
+            .unwrap_err()
+            .contains("unknown scenario"));
+        assert!(parse_run(&args(&["fig5", "--bogus"]), smoke_env)
+            .unwrap_err()
+            .contains("unknown option"));
+        assert!(parse_run(&args(&["fig5", "--jobs", "0"]), smoke_env)
+            .unwrap_err()
+            .contains("--jobs"));
+        assert!(parse_run(&args(&[]), smoke_env)
+            .unwrap_err()
+            .contains("name one or more"));
+    }
+
+    #[test]
+    fn flags_shadow_invalid_environment_knobs() {
+        let broken_env = |var: &str| match var {
+            "DDIO_TRIALS" => Some("0".to_owned()),
+            other => smoke_env(other),
+        };
+        // Without the flag, the stale env value is rejected...
+        let err = parse_run(&args(&["fig5"]), broken_env).unwrap_err();
+        assert!(err.contains("DDIO_TRIALS"), "{err}");
+        // ...but an explicit --trials makes the env value irrelevant.
+        let cmd = parse_run(&args(&["fig5", "--trials", "3"]), broken_env).unwrap();
+        assert_eq!(cmd.scale.trials, 3);
+    }
+
+    #[test]
+    fn execute_run_emits_valid_json_for_multiple_scenarios() {
+        let cmd = parse_run(
+            &args(&["table1", "mixed-rw", "--format", "json", "--jobs", "2"]),
+            smoke_env,
+        )
+        .unwrap();
+        let out = execute_run(&cmd).unwrap();
+        assert!(crate::report::json_is_valid(out.trim()), "bad JSON:\n{out}");
+        assert!(out.contains("\"table1\""));
+        assert!(out.contains("\"mixed-rw\""));
+    }
+
+    #[test]
+    fn execute_run_table_splits_results_per_scenario() {
+        let cmd = parse_run(&args(&["mixed-rw", "degraded-disk"]), smoke_env).unwrap();
+        let out = execute_run(&cmd).unwrap();
+        assert!(out.contains("Mixed read/write phases"));
+        assert!(out.contains("Degraded disks"));
+    }
+
+    #[test]
+    fn list_names_every_scenario() {
+        let listing = render_list();
+        for s in scenario::registry() {
+            assert!(listing.contains(s.name), "missing {}", s.name);
+        }
+    }
+}

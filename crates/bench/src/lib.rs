@@ -1,26 +1,39 @@
-//! `ddio-bench`: the figure-reproduction harness.
+//! `ddio-bench`: the unified benchmark harness.
 //!
-//! One binary per exhibit of the paper's evaluation section (`table1`,
-//! `fig3` … `fig8`), plus Criterion micro-benchmarks of the simulator, disk
-//! model, and pattern generator.
+//! The [`ddio-bench` CLI](crate::cli) binary runs any registered scenario —
+//! Table 1, Figures 3–8, and the newer sweeps — in parallel across all
+//! cores (`ddio-bench run all --jobs N`) and emits text tables, JSON, or
+//! CSV. The seven per-exhibit binaries (`table1`, `fig3` … `fig8`) are thin
+//! wrappers over the same registry (see [`run_exhibit`]), and the Criterion
+//! micro-benchmarks of the simulator, disk model, and pattern generator
+//! live in `benches/`.
 //!
-//! Every binary accepts the same scaling knobs through the environment so the
-//! full-fidelity (10 MB file, five trials) runs of the paper can be traded
-//! for quicker ones:
+//! Every entry point accepts the same scaling knobs through the environment
+//! so the full-fidelity (10 MB file, five trials) runs of the paper can be
+//! traded for quicker ones:
 //!
 //! | variable          | default | meaning                                   |
 //! |-------------------|---------|-------------------------------------------|
-//! | `DDIO_FILE_MB`    | `10`    | file size in MiB                          |
-//! | `DDIO_TRIALS`     | `5`     | independent trials per data point         |
+//! | `DDIO_FILE_MB`    | `10`    | file size in MiB (must be ≥ 1)            |
+//! | `DDIO_TRIALS`     | `5`     | independent trials per data point (≥ 1)   |
 //! | `DDIO_SMALL_RECORDS` | `1`  | also run the 8-byte-record sweep (0 = skip) |
 //! | `DDIO_SEED`       | `1994`  | base random seed                          |
+//!
+//! Zero or unparseable values are rejected at startup with a clear error
+//! (see [`Scale::from_env`]) instead of panicking mid-run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
+pub mod report;
+
+use std::fmt;
+
+use ddio_core::experiment::scenario::{self, SweepParams};
 use ddio_core::MachineConfig;
 
-/// Scaling knobs shared by all figure binaries.
+/// Scaling knobs shared by the CLI and all figure binaries.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Scale {
     /// File size in MiB.
@@ -44,23 +57,94 @@ impl Default for Scale {
     }
 }
 
+/// A rejected `DDIO_*` environment variable (or CLI override).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScaleError {
+    /// The offending variable name.
+    pub var: String,
+    /// The value it held.
+    pub value: String,
+    /// Why it was rejected.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for ScaleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}={:?} is invalid: {}",
+            self.var, self.value, self.reason
+        )
+    }
+}
+
+impl std::error::Error for ScaleError {}
+
+/// Parses one knob: unset or blank keeps the default; anything else must be
+/// a non-negative integer, optionally bounded below by `min`.
+fn parse_knob(var: &str, raw: Option<String>, min: u64, slot: &mut u64) -> Result<(), ScaleError> {
+    let Some(raw) = raw else { return Ok(()) };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(());
+    }
+    let parsed: u64 = trimmed.parse().map_err(|_| ScaleError {
+        var: var.to_owned(),
+        value: raw.clone(),
+        reason: "expected an unsigned integer",
+    })?;
+    if parsed < min {
+        return Err(ScaleError {
+            var: var.to_owned(),
+            value: raw,
+            reason: if min == 1 {
+                "must be at least 1"
+            } else {
+                "value too small"
+            },
+        });
+    }
+    *slot = parsed;
+    Ok(())
+}
+
 impl Scale {
     /// Reads the scaling knobs from the environment (see the crate docs).
-    pub fn from_env() -> Scale {
+    ///
+    /// Unset or blank variables keep their defaults. Garbage (`DDIO_TRIALS=x`)
+    /// and out-of-range values (`DDIO_TRIALS=0`, `DDIO_FILE_MB=0`) are
+    /// rejected here, at startup, rather than reaching an assertion deep in
+    /// the experiment harness.
+    pub fn from_env() -> Result<Scale, ScaleError> {
+        Scale::from_lookup(|var| std::env::var(var).ok())
+    }
+
+    /// [`Scale::from_env`] with an injectable variable source, for tests.
+    pub fn from_lookup(lookup: impl Fn(&str) -> Option<String>) -> Result<Scale, ScaleError> {
         let mut s = Scale::default();
-        if let Some(v) = env_u64("DDIO_FILE_MB") {
-            s.file_mib = v.max(1);
-        }
-        if let Some(v) = env_u64("DDIO_TRIALS") {
-            s.trials = v.max(1) as usize;
-        }
-        if let Some(v) = env_u64("DDIO_SMALL_RECORDS") {
-            s.small_records = v != 0;
-        }
-        if let Some(v) = env_u64("DDIO_SEED") {
-            s.seed = v;
-        }
-        s
+        parse_knob("DDIO_FILE_MB", lookup("DDIO_FILE_MB"), 1, &mut s.file_mib)?;
+        let mut trials = s.trials as u64;
+        parse_knob("DDIO_TRIALS", lookup("DDIO_TRIALS"), 1, &mut trials)?;
+        s.trials = trials as usize;
+        let mut small = u64::from(s.small_records);
+        parse_knob(
+            "DDIO_SMALL_RECORDS",
+            lookup("DDIO_SMALL_RECORDS"),
+            0,
+            &mut small,
+        )?;
+        s.small_records = small != 0;
+        parse_knob("DDIO_SEED", lookup("DDIO_SEED"), 0, &mut s.seed)?;
+        Ok(s)
+    }
+
+    /// [`Scale::from_env`], exiting with status 2 and a message on stderr if
+    /// the environment is invalid — the shared startup path of every binary.
+    pub fn from_env_or_exit() -> Scale {
+        Scale::from_env().unwrap_or_else(|e| {
+            eprintln!("ddio-bench: {e}");
+            std::process::exit(2);
+        })
     }
 
     /// The Table 1 machine with this scale's file size.
@@ -71,22 +155,54 @@ impl Scale {
         }
     }
 
-    /// A one-line description printed at the top of every table.
+    /// The sweep parameters handed to every scenario builder.
+    pub fn sweep_params(&self) -> SweepParams {
+        SweepParams {
+            base: self.base_config(),
+            trials: self.trials,
+            seed: self.seed,
+            small_records: self.small_records,
+        }
+    }
+
+    /// A one-line description printed at the top of every table
+    /// (delegates to [`SweepParams::describe`], the single source of the
+    /// wording).
     pub fn describe(&self) -> String {
-        format!(
-            "file = {} MiB, {} trial(s) per point, seed {} (paper: 10 MiB, 5 trials)",
-            self.file_mib, self.trials, self.seed
-        )
+        self.sweep_params().describe()
     }
 }
 
-fn env_u64(name: &str) -> Option<u64> {
-    std::env::var(name).ok()?.trim().parse().ok()
+/// The main function of every thin exhibit binary: look the exhibit up in
+/// the registry, run it serially at the environment's scale, and print its
+/// text report.
+///
+/// Serial execution is deliberate here — the exhibit binaries are the
+/// reference output; `ddio-bench run --jobs N` produces bit-identical
+/// numbers in parallel (the determinism suite proves it).
+pub fn run_exhibit(name: &str) {
+    let scale = Scale::from_env_or_exit();
+    let scenario = scenario::find(name).unwrap_or_else(|| {
+        eprintln!("ddio-bench: unknown exhibit {name:?}");
+        std::process::exit(2);
+    });
+    let params = scale.sweep_params();
+    let results = scenario::run_scenario(&scenario, &params, 1);
+    print!("{}", scenario::render(&scenario, &params, &results));
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn lookup_of<'a>(pairs: &'a [(&'a str, &'a str)]) -> impl Fn(&str) -> Option<String> + 'a {
+        move |var| {
+            pairs
+                .iter()
+                .find(|(k, _)| *k == var)
+                .map(|(_, v)| (*v).to_owned())
+        }
+    }
 
     #[test]
     fn default_scale_matches_the_paper() {
@@ -96,5 +212,62 @@ mod tests {
         assert!(s.small_records);
         assert_eq!(s.base_config().file_bytes, 10 * 1024 * 1024);
         assert!(s.describe().contains("10 MiB"));
+        let p = s.sweep_params();
+        assert_eq!(p.trials, 5);
+        assert_eq!(p.seed, 1994);
+    }
+
+    #[test]
+    fn env_overrides_apply() {
+        let s = Scale::from_lookup(lookup_of(&[
+            ("DDIO_FILE_MB", "2"),
+            ("DDIO_TRIALS", "3"),
+            ("DDIO_SMALL_RECORDS", "0"),
+            ("DDIO_SEED", "42"),
+        ]))
+        .unwrap();
+        assert_eq!(s.file_mib, 2);
+        assert_eq!(s.trials, 3);
+        assert!(!s.small_records);
+        assert_eq!(s.seed, 42);
+    }
+
+    #[test]
+    fn blank_values_keep_defaults() {
+        let s = Scale::from_lookup(lookup_of(&[("DDIO_TRIALS", "  ")])).unwrap();
+        assert_eq!(s.trials, 5);
+    }
+
+    #[test]
+    fn zero_trials_is_rejected_at_startup() {
+        let err = Scale::from_lookup(lookup_of(&[("DDIO_TRIALS", "0")])).unwrap_err();
+        assert_eq!(err.var, "DDIO_TRIALS");
+        assert!(err.to_string().contains("at least 1"), "{err}");
+    }
+
+    #[test]
+    fn zero_file_size_is_rejected() {
+        let err = Scale::from_lookup(lookup_of(&[("DDIO_FILE_MB", "0")])).unwrap_err();
+        assert_eq!(err.var, "DDIO_FILE_MB");
+    }
+
+    #[test]
+    fn garbage_values_are_rejected() {
+        for (var, value) in [
+            ("DDIO_FILE_MB", "ten"),
+            ("DDIO_TRIALS", "-3"),
+            ("DDIO_SEED", "0x12"),
+            ("DDIO_SMALL_RECORDS", "yes"),
+        ] {
+            let err = Scale::from_lookup(lookup_of(&[(var, value)])).unwrap_err();
+            assert_eq!(err.var, var, "{value} accepted for {var}");
+            assert!(err.to_string().contains("unsigned integer"));
+        }
+    }
+
+    #[test]
+    fn seed_zero_is_a_valid_seed() {
+        let s = Scale::from_lookup(lookup_of(&[("DDIO_SEED", "0")])).unwrap();
+        assert_eq!(s.seed, 0);
     }
 }

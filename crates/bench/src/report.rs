@@ -1,0 +1,458 @@
+//! Machine-readable output for scenario runs: JSON and CSV renderers with a
+//! stable schema, plus a small JSON syntax checker used by the smoke tests.
+//!
+//! Everything here is hand-rolled (the build environment has no serde); the
+//! JSON renderer escapes strings per RFC 8259 and refuses to emit NaN or
+//! infinity (they render as `null`), so the output always parses.
+
+use ddio_core::experiment::scenario::{aggregate, CellResult, Scenario, Summary, SweepParams};
+
+use crate::Scale;
+
+/// One executed scenario with its results, ready for rendering.
+pub struct ScenarioRun {
+    /// The registry entry that was run.
+    pub scenario: Scenario,
+    /// Its cell results, in build order.
+    pub results: Vec<CellResult>,
+}
+
+/// Escapes `s` as the contents of a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an `f64` as a JSON number (`null` for NaN/infinity, which JSON
+/// cannot represent).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `{}` prints integral floats as "5"; that is still a JSON number.
+        s
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn json_summary(s: &Summary) -> String {
+    format!(
+        "{{\"n\":{},\"mean\":{},\"std_dev\":{},\"cv\":{},\"min\":{},\"max\":{}}}",
+        s.n,
+        json_f64(s.mean),
+        json_f64(s.std_dev),
+        json_f64(s.cv()),
+        json_f64(s.min),
+        json_f64(s.max)
+    )
+}
+
+fn json_cell(r: &CellResult) -> String {
+    let axes = r
+        .axes
+        .iter()
+        .map(|a| {
+            format!(
+                "{{\"name\":\"{}\",\"value\":{}}}",
+                json_escape(a.name),
+                a.value
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let trials = r
+        .point
+        .trials
+        .iter()
+        .map(|t| json_f64(*t))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"pattern\":\"{}\",\"method\":\"{}\",\"record_bytes\":{},\"layout\":\"{}\",\
+         \"axes\":[{}],\"seed\":{},\"trials\":[{}],\"summary\":{},\"hardware_limit_mibs\":{}}}",
+        json_escape(&r.point.pattern),
+        json_escape(r.point.method.label()),
+        r.point.record_bytes,
+        r.point.layout.short_name(),
+        axes,
+        r.seed,
+        trials,
+        json_summary(&r.point.summary),
+        json_f64(r.hardware_limit_mibs)
+    )
+}
+
+/// Renders a whole run — scale header plus every scenario's cells and pooled
+/// aggregate — as one JSON document. The schema is stable: scripts may rely
+/// on `scale`, `scenarios[].name`, `scenarios[].cells[]`, and the cell
+/// fields emitted by this version.
+pub fn render_json(scale: &Scale, runs: &[ScenarioRun]) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!(
+        "\"scale\":{{\"file_mib\":{},\"trials\":{},\"small_records\":{},\"seed\":{}}},",
+        scale.file_mib, scale.trials, scale.small_records, scale.seed
+    ));
+    out.push_str("\"scenarios\":[");
+    for (i, run) in runs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let cells = run
+            .results
+            .iter()
+            .map(json_cell)
+            .collect::<Vec<_>>()
+            .join(",");
+        let agg = match aggregate(&run.results) {
+            Some(s) => json_summary(&s),
+            None => "null".to_owned(),
+        };
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"title\":\"{}\",\"cells\":[{}],\"aggregate\":{}}}",
+            json_escape(run.scenario.name),
+            json_escape(run.scenario.title),
+            cells,
+            agg
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders a run as CSV: one header row, then one row per cell across all
+/// scenarios. Axes are packed as `name=value` pairs separated by `;`.
+pub fn render_csv(runs: &[ScenarioRun]) -> String {
+    let mut out = String::from(
+        "scenario,pattern,method,record_bytes,layout,axes,seed,n_trials,mean_mibs,std_dev,cv,min,max,hardware_limit_mibs\n",
+    );
+    for run in runs {
+        for r in &run.results {
+            let axes = r
+                .axes
+                .iter()
+                .map(|a| format!("{}={}", a.name, a.value))
+                .collect::<Vec<_>>()
+                .join(";");
+            let s = &r.point.summary;
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                run.scenario.name,
+                r.point.pattern,
+                r.point.method.label(),
+                r.point.record_bytes,
+                r.point.layout.short_name(),
+                axes,
+                r.seed,
+                s.n,
+                s.mean,
+                s.std_dev,
+                s.cv(),
+                s.min,
+                s.max,
+                r.hardware_limit_mibs
+            ));
+        }
+    }
+    out
+}
+
+/// Renders a run as the human-readable text report (heading + tables per
+/// scenario).
+pub fn render_table(params: &SweepParams, runs: &[ScenarioRun]) -> String {
+    let mut out = String::new();
+    for (i, run) in runs.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&ddio_core::experiment::scenario::render(
+            &run.scenario,
+            params,
+            &run.results,
+        ));
+    }
+    out
+}
+
+/// A minimal recursive-descent JSON syntax checker: returns true iff `s` is
+/// one complete, well-formed JSON value. Used by the smoke tests (and CI) to
+/// guarantee the `--format json` output never rots into non-JSON.
+pub fn json_is_valid(s: &str) -> bool {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let ok = parse_value(bytes, &mut pos);
+    skip_ws(bytes, &mut pos);
+    ok && pos == bytes.len()
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn eat(b: &[u8], pos: &mut usize, c: u8) -> bool {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        true
+    } else {
+        false
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> bool {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_lit(b, pos, b"true"),
+        Some(b'f') => parse_lit(b, pos, b"false"),
+        Some(b'n') => parse_lit(b, pos, b"null"),
+        Some(_) => parse_number(b, pos),
+        None => false,
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &[u8]) -> bool {
+    if b[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        true
+    } else {
+        false
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> bool {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if eat(b, pos, b'}') {
+        return true;
+    }
+    loop {
+        skip_ws(b, pos);
+        if !parse_string(b, pos) {
+            return false;
+        }
+        skip_ws(b, pos);
+        if !eat(b, pos, b':') || !parse_value(b, pos) {
+            return false;
+        }
+        skip_ws(b, pos);
+        if eat(b, pos, b'}') {
+            return true;
+        }
+        if !eat(b, pos, b',') {
+            return false;
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> bool {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if eat(b, pos, b']') {
+        return true;
+    }
+    loop {
+        if !parse_value(b, pos) {
+            return false;
+        }
+        skip_ws(b, pos);
+        if eat(b, pos, b']') {
+            return true;
+        }
+        if !eat(b, pos, b',') {
+            return false;
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> bool {
+    if !eat(b, pos, b'"') {
+        return false;
+    }
+    while *pos < b.len() {
+        match b[*pos] {
+            b'"' => {
+                *pos += 1;
+                return true;
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        if b.len() < *pos + 5
+                            || !b[*pos + 1..*pos + 5].iter().all(u8::is_ascii_hexdigit)
+                        {
+                            return false;
+                        }
+                        *pos += 5;
+                    }
+                    _ => return false,
+                }
+            }
+            0x00..=0x1f => return false,
+            _ => *pos += 1,
+        }
+    }
+    false
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> bool {
+    let start = *pos;
+    let _ = eat(b, pos, b'-');
+    let digits_start = *pos;
+    while *pos < b.len() && b[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    if *pos == digits_start {
+        return false;
+    }
+    if eat(b, pos, b'.') {
+        let frac_start = *pos;
+        while *pos < b.len() && b[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+        if *pos == frac_start {
+            return false;
+        }
+    }
+    if *pos < b.len() && (b[*pos] == b'e' || b[*pos] == b'E') {
+        *pos += 1;
+        if *pos < b.len() && (b[*pos] == b'+' || b[*pos] == b'-') {
+            *pos += 1;
+        }
+        let exp_start = *pos;
+        while *pos < b.len() && b[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+        if *pos == exp_start {
+            return false;
+        }
+    }
+    *pos > start
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddio_core::experiment::scenario::{find, run_scenario, SweepParams};
+    use ddio_core::MachineConfig;
+
+    fn tiny_run(name: &str) -> (SweepParams, ScenarioRun) {
+        let params = SweepParams {
+            base: MachineConfig {
+                n_cps: 4,
+                n_iops: 4,
+                n_disks: 4,
+                file_bytes: 256 * 1024,
+                ..MachineConfig::default()
+            },
+            trials: 1,
+            seed: 7,
+            small_records: false,
+        };
+        let scenario = find(name).unwrap();
+        let results = run_scenario(&scenario, &params, 2);
+        (params, ScenarioRun { scenario, results })
+    }
+
+    #[test]
+    fn json_validator_accepts_and_rejects() {
+        for good in [
+            "{}",
+            "[]",
+            "null",
+            "-1.5e-3",
+            "[1,2,3]",
+            r#"{"a":[true,false,null],"b":"x\né"}"#,
+            "  { \"k\" : 1 }  ",
+        ] {
+            assert!(json_is_valid(good), "rejected {good:?}");
+        }
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{'a':1}",
+            "NaN",
+            "1 2",
+            "{\"a\":1,}",
+            "\"unterminated",
+        ] {
+            assert!(!json_is_valid(bad), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn rendered_json_is_valid_and_has_the_schema_landmarks() {
+        let (_, run) = tiny_run("mixed-rw");
+        let scale = Scale {
+            file_mib: 1,
+            trials: 1,
+            small_records: false,
+            seed: 7,
+        };
+        let json = render_json(&scale, &[run]);
+        assert!(json_is_valid(&json), "invalid JSON:\n{json}");
+        for landmark in [
+            "\"scale\"",
+            "\"scenarios\"",
+            "\"cells\"",
+            "\"aggregate\"",
+            "\"mixed-rw\"",
+            "\"hardware_limit_mibs\"",
+        ] {
+            assert!(json.contains(landmark), "missing {landmark}");
+        }
+    }
+
+    #[test]
+    fn table1_renders_with_empty_cells_and_null_aggregate() {
+        let (_, run) = tiny_run("table1");
+        let scale = Scale::default();
+        let json = render_json(&scale, &[run]);
+        assert!(json_is_valid(&json));
+        assert!(json.contains("\"cells\":[]"));
+        assert!(json.contains("\"aggregate\":null"));
+    }
+
+    #[test]
+    fn csv_has_one_row_per_cell_plus_header() {
+        let (_, run) = tiny_run("mixed-rw");
+        let n = run.results.len();
+        let csv = render_csv(&[run]);
+        assert_eq!(csv.lines().count(), n + 1);
+        assert!(csv.starts_with("scenario,pattern,method"));
+        assert!(csv.contains("phase=0"));
+    }
+
+    #[test]
+    fn table_render_includes_headings() {
+        let (params, run) = tiny_run("degraded-disk");
+        let text = render_table(&params, &[run]);
+        assert!(text.contains("Degraded disks"));
+        assert!(text.contains("degradation=2"));
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(2.5), "2.5");
+    }
+}

@@ -88,3 +88,96 @@ fn fig8_runs_the_random_layout_disk_sweep() {
         &["Figure 8", "random-blocks layout"],
     );
 }
+
+/// Runs the unified CLI at reduced scale with extra arguments.
+fn run_cli(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ddio-bench"))
+        .args(args)
+        .env("DDIO_FILE_MB", "1")
+        .env("DDIO_TRIALS", "1")
+        .env("DDIO_SMALL_RECORDS", "0")
+        .env("DDIO_SEED", "1994")
+        .output()
+        .expect("failed to spawn ddio-bench")
+}
+
+#[test]
+fn cli_list_names_every_registered_scenario() {
+    let out = run_cli(&["list"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    for name in [
+        "table1",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "mixed-rw",
+        "degraded-disk",
+        "record-cp-cross",
+    ] {
+        assert!(stdout.contains(name), "list missing {name}:\n{stdout}");
+    }
+}
+
+#[test]
+fn cli_run_all_emits_valid_json() {
+    let out = run_cli(&["run", "all", "--format", "json", "--jobs", "2"]);
+    assert!(
+        out.status.success(),
+        "stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(
+        ddio_bench::report::json_is_valid(stdout.trim()),
+        "ddio-bench run all produced invalid JSON:\n{stdout}"
+    );
+    for name in ["\"fig3\"", "\"fig8\"", "\"mixed-rw\"", "\"aggregate\""] {
+        assert!(stdout.contains(name), "JSON missing {name}");
+    }
+}
+
+#[test]
+fn cli_run_fig5_csv_has_the_expected_shape() {
+    let out = run_cli(&["run", "fig5", "--format", "csv"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let mut lines = stdout.lines();
+    assert!(lines
+        .next()
+        .unwrap()
+        .starts_with("scenario,pattern,method,record_bytes"));
+    // 5 CP counts x 4 patterns x 2 methods data rows.
+    assert_eq!(lines.count(), 40);
+    assert!(stdout.contains("cps=16"));
+}
+
+#[test]
+fn cli_rejects_zero_trials_with_a_clear_error() {
+    // Pin every knob so an ambient DDIO_* setting can't change which
+    // variable gets rejected first.
+    let out = Command::new(env!("CARGO_BIN_EXE_ddio-bench"))
+        .args(["run", "fig5"])
+        .env("DDIO_FILE_MB", "1")
+        .env("DDIO_TRIALS", "0")
+        .env("DDIO_SMALL_RECORDS", "0")
+        .env("DDIO_SEED", "1994")
+        .output()
+        .expect("failed to spawn ddio-bench");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(
+        stderr.contains("DDIO_TRIALS") && stderr.contains("at least 1"),
+        "unhelpful error:\n{stderr}"
+    );
+}
+
+#[test]
+fn cli_rejects_unknown_scenarios() {
+    let out = run_cli(&["run", "fig99"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown scenario"));
+}

@@ -1,6 +1,14 @@
 //! The experiment harness: multi-trial data points, pattern sweeps
 //! (Figures 3 and 4) and sensitivity sweeps (Figures 5-8), plus table
 //! formatting for the figure-reproduction binaries.
+//!
+//! On top of these primitives sit the [`scenario`] registry — every paper
+//! exhibit and new sweep as a named list of independent cells — and the
+//! [`pool`] thread pool that executes those cells across all cores with
+//! deterministic, order-stable results.
+
+pub mod pool;
+pub mod scenario;
 
 use ddio_patterns::AccessPattern;
 use ddio_sim::stats::Summary;

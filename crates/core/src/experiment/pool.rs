@@ -1,0 +1,126 @@
+//! A minimal fixed-size thread pool for embarrassingly parallel simulation
+//! work.
+//!
+//! Every data point of an experiment builds its own single-threaded [`Sim`]
+//! (see [`run_transfer`]), so independent cells can run on independent OS
+//! threads with no shared state at all. There is deliberately no work
+//! stealing: workers pull the next cell off one shared queue and send the
+//! result back over a channel tagged with its index, so the output order —
+//! and therefore every downstream report — is identical no matter how many
+//! workers ran or how the scheduler interleaved them.
+//!
+//! [`Sim`]: ddio_sim::Sim
+//! [`run_transfer`]: crate::run_transfer
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// The number of worker threads to use by default: one per available core.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `run` to every item, using up to `jobs` worker threads, and
+/// returns the results in the items' original order.
+///
+/// `jobs <= 1` (or a single item) degenerates to a plain serial loop on the
+/// calling thread. Results are position-stable: `out[i] == run(items[i])`
+/// regardless of scheduling, which is what makes parallel experiment runs
+/// bit-identical to serial ones.
+///
+/// # Panics
+///
+/// Propagates a panic from any `run` invocation.
+pub fn run_parallel<T, R, F>(items: Vec<T>, jobs: usize, run: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if jobs <= 1 || n <= 1 {
+        return items.into_iter().map(run).collect();
+    }
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let queue = &queue;
+    let run = &run;
+    let slots = std::thread::scope(|scope| {
+        for _ in 0..jobs.min(n) {
+            let tx = tx.clone();
+            scope.spawn(move || loop {
+                // Take the lock only to pop; the simulation itself runs
+                // unlocked so workers never serialize on each other.
+                let next = queue.lock().expect("work queue poisoned").pop_front();
+                match next {
+                    Some((index, item)) => {
+                        if tx.send((index, run(item))).is_err() {
+                            return;
+                        }
+                    }
+                    None => return,
+                }
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (index, result) in rx {
+            slots[index] = Some(result);
+        }
+        // Return the slots without unwrapping: if a worker panicked, its
+        // slot is None and the scope's implicit joins re-raise that panic —
+        // unwrapping here would mask it with a generic message.
+        slots
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("a worker thread exited without a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree_in_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial = run_parallel(items.clone(), 1, |i| i * i);
+        for jobs in [2, 4, 8] {
+            let parallel = run_parallel(items.clone(), jobs, |i| i * i);
+            assert_eq!(serial, parallel, "jobs = {jobs}");
+        }
+        assert_eq!(serial[7], 49);
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        let out = run_parallel(vec![1, 2, 3], 16, |i| i + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u32> = run_parallel(Vec::<u32>::new(), 4, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn worker_panics_propagate_to_the_caller() {
+        let outcome = std::panic::catch_unwind(|| {
+            run_parallel(vec![1u32, 2, 3, 4], 2, |i| {
+                assert!(i != 3, "simulated cell failure on item {i}");
+                i
+            })
+        });
+        assert!(outcome.is_err(), "worker panic was swallowed");
+    }
+}

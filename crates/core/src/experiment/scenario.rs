@@ -1,0 +1,912 @@
+//! The scenario registry: every exhibit of the paper's evaluation — and any
+//! new sweep — as a named, declarative entry that expands to independent
+//! simulation cells.
+//!
+//! A [`Scenario`] is (name, description, report shape, cell builder). The
+//! builder maps a set of [`SweepParams`] (base machine, trials, seed) to a
+//! flat list of [`Cell`]s; each cell is one (config, method, pattern, record
+//! size) data point with its own deterministic seed, so cells are
+//! embarrassingly parallel and [`run_scenario`] can execute them across all
+//! cores via [`pool::run_parallel`] without changing a single number.
+//!
+//! The registry captures Table 1 and Figures 3–8 of the paper plus new
+//! scenarios (mixed read/write phases, degraded disks, a record-size ×
+//! CP-count cross sweep); the `ddio-bench` CLI and the seven thin exhibit
+//! binaries are both driven from here.
+//!
+//! [`pool::run_parallel`]: super::pool::run_parallel
+
+use ddio_patterns::AccessPattern;
+pub use ddio_sim::stats::Summary;
+
+use crate::config::{LayoutPolicy, MachineConfig, Method};
+use crate::experiment::pool;
+use crate::experiment::{
+    format_pattern_table, format_sensitivity_table, run_data_point, DataPoint, SensitivityPoint,
+};
+
+/// One labelled point on a sweep axis, e.g. `cps = 8` in Figure 5.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Axis {
+    /// Axis name (`"cps"`, `"disks"`, `"record"`, …).
+    pub name: &'static str,
+    /// The value of the varied parameter at this cell.
+    pub value: u64,
+}
+
+impl Axis {
+    /// A new axis point.
+    pub fn new(name: &'static str, value: u64) -> Axis {
+        Axis { name, value }
+    }
+}
+
+/// One independent unit of work: a fully specified data point.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// The scenario this cell belongs to.
+    pub scenario: &'static str,
+    /// The complete machine configuration for this cell.
+    pub config: MachineConfig,
+    /// File-system method.
+    pub method: Method,
+    /// Access pattern.
+    pub pattern: AccessPattern,
+    /// Record size in bytes.
+    pub record_bytes: u64,
+    /// Sweep-axis coordinates of this cell (empty for plain grids).
+    pub axes: Vec<Axis>,
+    /// Base seed for this cell's trials (trial `t` uses `seed + t`).
+    pub seed: u64,
+}
+
+/// The result of one executed cell.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// The scenario the cell came from.
+    pub scenario: &'static str,
+    /// Sweep-axis coordinates.
+    pub axes: Vec<Axis>,
+    /// The cell's base seed.
+    pub seed: u64,
+    /// The hardware bandwidth limit of the cell's configuration, in MiB/s.
+    pub hardware_limit_mibs: f64,
+    /// The measured data point (trials, summary, diagnostics).
+    pub point: DataPoint,
+}
+
+/// Inputs every cell builder receives: the base machine plus the scaling
+/// knobs of the run.
+#[derive(Debug, Clone)]
+pub struct SweepParams {
+    /// The base machine configuration (builders clone and mutate it).
+    pub base: MachineConfig,
+    /// Independent trials per cell.
+    pub trials: usize,
+    /// Base random seed.
+    pub seed: u64,
+    /// Whether pattern sweeps also run their 8-byte-record half.
+    pub small_records: bool,
+}
+
+impl Default for SweepParams {
+    /// The paper's full-fidelity run: the Table 1 machine, five trials,
+    /// seed 1994, both record sizes.
+    fn default() -> Self {
+        SweepParams {
+            base: MachineConfig::default(),
+            trials: 5,
+            seed: 1994,
+            small_records: true,
+        }
+    }
+}
+
+impl SweepParams {
+    /// A one-line description printed at the top of every report.
+    pub fn describe(&self) -> String {
+        format!(
+            "file = {} MiB, {} trial(s) per point, seed {} (paper: 10 MiB, 5 trials)",
+            self.base.file_bytes / (1024 * 1024),
+            self.trials,
+            self.seed
+        )
+    }
+}
+
+/// How a scenario's results are rendered as a text table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Report {
+    /// No cells: print the machine parameters next to the paper's (Table 1).
+    MachineParameters,
+    /// Figures 3/4: one patterns × methods table per record size, titled
+    /// `Figure <figure><a|b>` after the paper's sub-figures.
+    PatternTables {
+        /// Figure number used in the per-table titles.
+        figure: char,
+    },
+    /// Figures 5–8: one row per swept value, one column per (method,
+    /// pattern) series, with the hardware-limit column.
+    Sensitivity {
+        /// The table's title line.
+        table_title: &'static str,
+    },
+    /// Generic flat listing: one row per cell.
+    Flat,
+}
+
+/// A named, registered experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario {
+    /// Registry key (`"fig5"`, `"mixed-rw"`, …).
+    pub name: &'static str,
+    /// Heading printed above the report.
+    pub title: &'static str,
+    /// One-line description for `ddio-bench list`.
+    pub description: &'static str,
+    /// Report shape.
+    pub report: Report,
+    /// Expands the sweep parameters into this scenario's cells.
+    pub build: fn(&SweepParams) -> Vec<Cell>,
+    /// Optional context line printed between the heading and the tables
+    /// (e.g. Figure 4's aggregate-peak-bandwidth note).
+    pub note: Option<fn(&SweepParams) -> String>,
+}
+
+/// Derives a per-cell seed from the run's base seed and the cell's stable
+/// identity, so a cell's randomness depends only on *which* cell it is —
+/// never on execution order or worker count.
+pub fn derive_seed(base: u64, tags: &[&str], values: &[u64]) -> u64 {
+    // FNV-1a over the tags and values, then the simulator's SplitMix64
+    // avalanche finalizer.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |b: u8| {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for tag in tags {
+        for b in tag.bytes() {
+            eat(b);
+        }
+        eat(0xff); // separator so ("ab","c") != ("a","bc")
+    }
+    for v in values {
+        for b in v.to_le_bytes() {
+            eat(b);
+        }
+    }
+    ddio_sim::mix64(base ^ h)
+}
+
+/// Runs every cell of `scenario` with up to `jobs` worker threads and
+/// returns the results in build order. The output is bit-identical for any
+/// `jobs` value because each cell carries its own seed and the pool is
+/// position-stable.
+pub fn run_scenario(scenario: &Scenario, params: &SweepParams, jobs: usize) -> Vec<CellResult> {
+    let cells = (scenario.build)(params);
+    run_cells(cells, params.trials, jobs)
+}
+
+/// Runs a prebuilt list of cells (the guts of [`run_scenario`], also usable
+/// for ad-hoc cell lists).
+pub fn run_cells(cells: Vec<Cell>, trials: usize, jobs: usize) -> Vec<CellResult> {
+    pool::run_parallel(cells, jobs, |cell| {
+        let hardware_limit_mibs = cell.config.hardware_limit() / (1024.0 * 1024.0);
+        let point = run_data_point(
+            &cell.config,
+            cell.method,
+            cell.pattern,
+            cell.record_bytes,
+            trials,
+            cell.seed,
+        );
+        CellResult {
+            scenario: cell.scenario,
+            axes: cell.axes,
+            seed: cell.seed,
+            hardware_limit_mibs,
+            point,
+        }
+    })
+}
+
+/// Merges the per-cell trial summaries into one scenario-wide summary
+/// (pooled over every trial of every cell); `None` for cell-less scenarios.
+pub fn aggregate(results: &[CellResult]) -> Option<Summary> {
+    results
+        .iter()
+        .map(|r| r.point.summary.clone())
+        .reduce(|a, b| a.merge(&b))
+}
+
+/// The full registry, paper exhibits first.
+pub fn registry() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "table1",
+            title: "Table 1: Parameters for simulator",
+            description: "machine parameters side by side with the paper's values",
+            report: Report::MachineParameters,
+            build: |_| Vec::new(),
+            note: None,
+        },
+        Scenario {
+            name: "fig3",
+            title: "Figure 3: random-blocks disk layout",
+            description: "TC vs DDIO vs DDIO(sort), all 19 patterns, random-blocks layout",
+            report: Report::PatternTables { figure: '3' },
+            build: build_fig3,
+            note: None,
+        },
+        Scenario {
+            name: "fig4",
+            title: "Figure 4: contiguous disk layout",
+            description: "TC vs DDIO(sort), all 19 patterns, contiguous layout",
+            report: Report::PatternTables { figure: '4' },
+            build: build_fig4,
+            note: Some(|p| {
+                format!(
+                    "Aggregate peak disk bandwidth: {:.1} MiB/s",
+                    p.base.peak_disk_bandwidth() / (1024.0 * 1024.0)
+                )
+            }),
+        },
+        Scenario {
+            name: "fig5",
+            title: "Figure 5: varying the number of CPs",
+            description: "throughput vs CP count; contiguous layout, 8 KB records",
+            report: Report::Sensitivity {
+                table_title:
+                    "Throughput (MiB/s) vs number of CPs; contiguous layout, 8 KB records",
+            },
+            build: build_fig5,
+            note: None,
+        },
+        Scenario {
+            name: "fig6",
+            title: "Figure 6: varying the number of IOPs",
+            description: "throughput vs IOP/bus count; 16 disks, contiguous layout",
+            report: Report::Sensitivity {
+                table_title:
+                    "Throughput (MiB/s) vs number of IOPs; 16 disks, contiguous layout, 8 KB records",
+            },
+            build: build_fig6,
+            note: None,
+        },
+        Scenario {
+            name: "fig7",
+            title: "Figure 7: varying the number of disks, one IOP, contiguous layout",
+            description: "throughput vs disk count on a single IOP/bus, contiguous layout",
+            report: Report::Sensitivity {
+                table_title:
+                    "Throughput (MiB/s) vs number of disks; 1 IOP, contiguous layout, 8 KB records",
+            },
+            build: build_fig7,
+            note: None,
+        },
+        Scenario {
+            name: "fig8",
+            title: "Figure 8: varying the number of disks, one IOP, random-blocks layout",
+            description: "throughput vs disk count on a single IOP/bus, random-blocks layout",
+            report: Report::Sensitivity {
+                table_title:
+                    "Throughput (MiB/s) vs number of disks; 1 IOP, random-blocks layout, 8 KB records",
+            },
+            build: build_fig8,
+            note: None,
+        },
+        Scenario {
+            name: "mixed-rw",
+            title: "Mixed read/write phases (out-of-core style)",
+            description: "alternating collective read and write phases, TC vs DDIO(sort)",
+            report: Report::Flat,
+            build: build_mixed_rw,
+            note: None,
+        },
+        Scenario {
+            name: "degraded-disk",
+            title: "Degraded disks: read-ahead loss and slow mechanics",
+            description: "healthy vs cache-less vs slow-mechanics drives, both methods",
+            report: Report::Flat,
+            build: build_degraded_disk,
+            note: None,
+        },
+        Scenario {
+            name: "record-cp-cross",
+            title: "Record size x CP count cross sweep",
+            description: "record sizes crossed with CP counts, rb pattern, both methods",
+            report: Report::Flat,
+            build: build_record_cp_cross,
+            note: None,
+        },
+    ]
+}
+
+/// Looks up a scenario by name.
+pub fn find(name: &str) -> Option<Scenario> {
+    registry().into_iter().find(|s| s.name == name)
+}
+
+/// The record sizes a pattern sweep runs at this scale: the paper's 8 KB
+/// half always, the 8-byte half when `small_records` is set.
+fn pattern_record_sizes(params: &SweepParams) -> Vec<u64> {
+    if params.small_records {
+        vec![8192, 8]
+    } else {
+        vec![8192]
+    }
+}
+
+/// Figures 3 and 4 share this grid: every paper pattern × `methods` at each
+/// record size, on one layout. Cell seeds equal the run seed, exactly as the
+/// pre-registry figure binaries behaved, so the numbers are unchanged.
+fn pattern_sweep_cells(
+    scenario: &'static str,
+    params: &SweepParams,
+    layout: LayoutPolicy,
+    methods: &[Method],
+) -> Vec<Cell> {
+    let config = MachineConfig {
+        layout,
+        ..params.base.clone()
+    };
+    let mut cells = Vec::new();
+    for record_bytes in pattern_record_sizes(params) {
+        for pattern in AccessPattern::paper_all_patterns() {
+            for &method in methods {
+                cells.push(Cell {
+                    scenario,
+                    config: config.clone(),
+                    method,
+                    pattern,
+                    record_bytes,
+                    axes: Vec::new(),
+                    seed: params.seed,
+                });
+            }
+        }
+    }
+    cells
+}
+
+fn build_fig3(params: &SweepParams) -> Vec<Cell> {
+    pattern_sweep_cells(
+        "fig3",
+        params,
+        LayoutPolicy::RandomBlocks,
+        &[
+            Method::TraditionalCaching,
+            Method::DiskDirected,
+            Method::DiskDirectedSorted,
+        ],
+    )
+}
+
+fn build_fig4(params: &SweepParams) -> Vec<Cell> {
+    // Presorting is irrelevant on the contiguous layout (the block list is
+    // already in physical order), so the figure has just two series.
+    pattern_sweep_cells(
+        "fig4",
+        params,
+        LayoutPolicy::Contiguous,
+        &[Method::TraditionalCaching, Method::DiskDirectedSorted],
+    )
+}
+
+/// Figures 5–8 share this grid: the sensitivity patterns × both methods at
+/// 8 KB records, one cell per swept value.
+fn sensitivity_cells(
+    scenario: &'static str,
+    params: &SweepParams,
+    base: MachineConfig,
+    axis: &'static str,
+    values: &[usize],
+    mutate: fn(&mut MachineConfig, usize),
+) -> Vec<Cell> {
+    let methods = [Method::TraditionalCaching, Method::DiskDirectedSorted];
+    let mut cells = Vec::new();
+    for &value in values {
+        let mut config = base.clone();
+        mutate(&mut config, value);
+        for pattern in AccessPattern::sensitivity_patterns() {
+            for &method in &methods {
+                cells.push(Cell {
+                    scenario,
+                    config: config.clone(),
+                    method,
+                    pattern,
+                    record_bytes: 8192,
+                    axes: vec![Axis::new(axis, value as u64)],
+                    seed: params.seed,
+                });
+            }
+        }
+    }
+    cells
+}
+
+fn build_fig5(params: &SweepParams) -> Vec<Cell> {
+    let base = MachineConfig {
+        layout: LayoutPolicy::Contiguous,
+        ..params.base.clone()
+    };
+    sensitivity_cells("fig5", params, base, "cps", &[1, 2, 4, 8, 16], |c, v| {
+        c.n_cps = v
+    })
+}
+
+fn build_fig6(params: &SweepParams) -> Vec<Cell> {
+    let base = MachineConfig {
+        layout: LayoutPolicy::Contiguous,
+        n_disks: 16,
+        ..params.base.clone()
+    };
+    // IOP counts that divide 16 disks evenly.
+    sensitivity_cells("fig6", params, base, "iops", &[1, 2, 4, 8, 16], |c, v| {
+        c.n_iops = v
+    })
+}
+
+fn build_fig7(params: &SweepParams) -> Vec<Cell> {
+    let base = MachineConfig {
+        layout: LayoutPolicy::Contiguous,
+        n_iops: 1,
+        n_cps: 16,
+        ..params.base.clone()
+    };
+    sensitivity_cells(
+        "fig7",
+        params,
+        base,
+        "disks",
+        &[1, 2, 4, 8, 16, 32],
+        |c, v| c.n_disks = v,
+    )
+}
+
+fn build_fig8(params: &SweepParams) -> Vec<Cell> {
+    let base = MachineConfig {
+        layout: LayoutPolicy::RandomBlocks,
+        n_iops: 1,
+        n_cps: 16,
+        ..params.base.clone()
+    };
+    sensitivity_cells(
+        "fig8",
+        params,
+        base,
+        "disks",
+        &[1, 2, 4, 8, 16, 32],
+        |c, v| c.n_disks = v,
+    )
+}
+
+/// Alternating read and write phases over the same file, as an out-of-core
+/// computation would issue them. Each phase is one collective transfer; the
+/// axis is the phase index.
+fn build_mixed_rw(params: &SweepParams) -> Vec<Cell> {
+    let phases = ["rb", "wb", "rc", "wc"];
+    let methods = [Method::TraditionalCaching, Method::DiskDirectedSorted];
+    let mut cells = Vec::new();
+    for (i, name) in phases.iter().enumerate() {
+        let pattern = AccessPattern::parse(name).expect("known pattern");
+        for &method in &methods {
+            cells.push(Cell {
+                scenario: "mixed-rw",
+                config: params.base.clone(),
+                method,
+                pattern,
+                record_bytes: 8192,
+                axes: vec![Axis::new("phase", i as u64)],
+                seed: derive_seed(
+                    params.seed,
+                    &["mixed-rw", name, method.label()],
+                    &[i as u64],
+                ),
+            });
+        }
+    }
+    cells
+}
+
+/// Progressive drive degradation: level 0 is the healthy HP 97560, level 1
+/// loses the on-board read-ahead cache, level 2 additionally quadruples the
+/// mechanical overheads (controller, head switch) — a tired drive.
+fn build_degraded_disk(params: &SweepParams) -> Vec<Cell> {
+    let methods = [Method::TraditionalCaching, Method::DiskDirectedSorted];
+    let pattern = AccessPattern::parse("rb").expect("known pattern");
+    let mut cells = Vec::new();
+    for level in 0u64..=2 {
+        let mut config = params.base.clone();
+        if level >= 1 {
+            config.disk.cache_sectors = 0;
+        }
+        if level >= 2 {
+            config.disk.controller_overhead = config.disk.controller_overhead.times(4);
+            config.disk.head_switch = config.disk.head_switch.times(4);
+        }
+        for &method in &methods {
+            cells.push(Cell {
+                scenario: "degraded-disk",
+                config: config.clone(),
+                method,
+                pattern,
+                record_bytes: 8192,
+                axes: vec![Axis::new("degradation", level)],
+                seed: derive_seed(params.seed, &["degraded-disk", method.label()], &[level]),
+            });
+        }
+    }
+    cells
+}
+
+/// Record size crossed with CP count for the block-distributed read, the
+/// grid the paper's Figures 3 and 5 each slice one axis of.
+fn build_record_cp_cross(params: &SweepParams) -> Vec<Cell> {
+    let records = [1024u64, 8192, 65536];
+    let cps = [4usize, 16];
+    let methods = [Method::TraditionalCaching, Method::DiskDirectedSorted];
+    let pattern = AccessPattern::parse("rb").expect("known pattern");
+    let mut cells = Vec::new();
+    for &n_cps in &cps {
+        for &record_bytes in &records {
+            let config = MachineConfig {
+                n_cps,
+                layout: LayoutPolicy::Contiguous,
+                ..params.base.clone()
+            };
+            for &method in &methods {
+                cells.push(Cell {
+                    scenario: "record-cp-cross",
+                    config: config.clone(),
+                    method,
+                    pattern,
+                    record_bytes,
+                    axes: vec![
+                        Axis::new("cps", n_cps as u64),
+                        Axis::new("record", record_bytes),
+                    ],
+                    seed: derive_seed(
+                        params.seed,
+                        &["record-cp-cross", method.label()],
+                        &[n_cps as u64, record_bytes],
+                    ),
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Renders a scenario's full report: heading, scale line (not for the
+/// parameter table, which runs no trials), optional note, and the tables.
+pub fn render(scenario: &Scenario, params: &SweepParams, results: &[CellResult]) -> String {
+    let mut out = if scenario.report == Report::MachineParameters {
+        format!("{}\n", scenario.title)
+    } else {
+        format!("{} ({})\n", scenario.title, params.describe())
+    };
+    if let Some(note) = scenario.note {
+        out.push_str(&note(params));
+        out.push('\n');
+    }
+    out.push('\n');
+    out.push_str(&format_report(scenario, params, results));
+    out
+}
+
+/// Renders just the tables of a scenario's report (no heading).
+pub fn format_report(scenario: &Scenario, params: &SweepParams, results: &[CellResult]) -> String {
+    match scenario.report {
+        Report::MachineParameters => format_machine_table(&params.base),
+        Report::PatternTables { figure } => {
+            let mut out = String::new();
+            let mut seen: Vec<u64> = Vec::new();
+            for r in results {
+                if !seen.contains(&r.point.record_bytes) {
+                    seen.push(r.point.record_bytes);
+                }
+            }
+            for record_bytes in seen {
+                let points: Vec<DataPoint> = results
+                    .iter()
+                    .filter(|r| r.point.record_bytes == record_bytes)
+                    .map(|r| r.point.clone())
+                    .collect();
+                let title = format!(
+                    "Figure {figure}{}: {record_bytes}-byte records, throughput in MiB/s",
+                    if record_bytes == 8 { "a" } else { "b" },
+                );
+                out.push_str(&format_pattern_table(&points, &title));
+                out.push('\n');
+            }
+            out
+        }
+        Report::Sensitivity { table_title } => {
+            let points: Vec<SensitivityPoint> = results
+                .iter()
+                .map(|r| SensitivityPoint {
+                    value: r.axes.first().map(|a| a.value as usize).unwrap_or(0),
+                    pattern: r.point.pattern.clone(),
+                    method: r.point.method,
+                    summary: r.point.summary.clone(),
+                    hardware_limit_mibs: r.hardware_limit_mibs,
+                })
+                .collect();
+            format_sensitivity_table(&points, table_title)
+        }
+        Report::Flat => format_flat_table(results),
+    }
+}
+
+/// The generic flat report: one row per cell with its axes spelled out,
+/// plus a pooled-summary footer.
+fn format_flat_table(results: &[CellResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<9}{:<12}{:>10}{:>8}  {:<22}{:>10}{:>8}{:>10}\n",
+        "pattern", "method", "record", "layout", "axes", "MiB/s", "cv", "hw-limit"
+    ));
+    for r in results {
+        let axes = r
+            .axes
+            .iter()
+            .map(|a| format!("{}={}", a.name, a.value))
+            .collect::<Vec<_>>()
+            .join(" ");
+        out.push_str(&format!(
+            "{:<9}{:<12}{:>10}{:>8}  {:<22}{:>10.2}{:>8.3}{:>10.1}\n",
+            r.point.pattern,
+            r.point.method.label(),
+            r.point.record_bytes,
+            r.point.layout.short_name(),
+            axes,
+            r.point.mean(),
+            r.point.cv(),
+            r.hardware_limit_mibs,
+        ));
+    }
+    if let Some(agg) = aggregate(results) {
+        out.push_str(&format!(
+            "pooled over {} trial(s): mean {:.2} MiB/s, min {:.2}, max {:.2}\n",
+            agg.n, agg.mean, agg.min, agg.max
+        ));
+    }
+    out
+}
+
+/// Formats the configured machine parameters side by side with the values
+/// the paper's Table 1 lists, so any deviation is visible at a glance.
+pub fn format_machine_table(config: &MachineConfig) -> String {
+    let geometry = config.disk.geometry;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<38}{:>18}{:>18}\n",
+        "parameter", "paper", "this repo"
+    ));
+    let rows: Vec<(&str, String, String)> = vec![
+        (
+            "Compute processors (CPs)",
+            "16".into(),
+            config.n_cps.to_string(),
+        ),
+        (
+            "I/O processors (IOPs)",
+            "16".into(),
+            config.n_iops.to_string(),
+        ),
+        ("Disks", "16".into(), config.n_disks.to_string()),
+        (
+            "CPU speed, type",
+            "50 MHz RISC".into(),
+            "50 MHz RISC (cost model)".into(),
+        ),
+        ("Disk type", "HP 97560".into(), "HP 97560 model".into()),
+        (
+            "Disk capacity",
+            "1.3 GB".into(),
+            format!("{:.2} GB", geometry.capacity_bytes() as f64 / 1e9),
+        ),
+        (
+            "Disk peak transfer rate",
+            "2.34 Mbytes/s".into(),
+            format!(
+                "{:.2} Mbytes/s",
+                geometry.peak_transfer_bytes_per_sec() / (1024.0 * 1024.0)
+            ),
+        ),
+        (
+            "File-system block size",
+            "8 KB".into(),
+            format!("{} KB", config.block_bytes / 1024),
+        ),
+        (
+            "I/O buses (one per IOP)",
+            "16".into(),
+            config.n_iops.to_string(),
+        ),
+        (
+            "I/O bus peak bandwidth",
+            "10 Mbytes/s".into(),
+            format!("{:.0} Mbytes/s", config.bus_bytes_per_sec / 1e6),
+        ),
+        (
+            "Interconnect topology",
+            "6x6 torus".into(),
+            "6x6 torus (fitted)".into(),
+        ),
+        (
+            "Interconnect bandwidth",
+            "200 x 10^6 bytes/s".into(),
+            format!("{:.0} x 10^6 bytes/s", config.net.link_bytes_per_sec / 1e6),
+        ),
+        (
+            "Interconnect latency",
+            "20 ns per router".into(),
+            format!("{} ns per router", config.net.router_latency.as_nanos()),
+        ),
+        (
+            "Routing",
+            "wormhole".into(),
+            "wormhole latency model".into(),
+        ),
+        (
+            "File size",
+            "10 MB (1280 8-KB blocks)".into(),
+            format!(
+                "{} MB ({} blocks)",
+                config.file_bytes / (1024 * 1024),
+                config.n_blocks()
+            ),
+        ),
+    ];
+    for (name, paper, ours) in rows {
+        out.push_str(&format!("{name:<38}{paper:>18}{ours:>18}\n"));
+    }
+    out.push('\n');
+    out.push_str(&format!(
+        "Aggregate peak disk bandwidth: {:.1} MiB/s; bus-limited at {:.1} MiB/s\n",
+        config.peak_disk_bandwidth() / (1024.0 * 1024.0),
+        config.peak_bus_bandwidth() / (1024.0 * 1024.0)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_params() -> SweepParams {
+        SweepParams {
+            base: MachineConfig {
+                n_cps: 4,
+                n_iops: 4,
+                n_disks: 4,
+                file_bytes: 256 * 1024,
+                ..MachineConfig::default()
+            },
+            trials: 1,
+            seed: 7,
+            small_records: false,
+        }
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_include_all_exhibits() {
+        let names: Vec<&str> = registry().iter().map(|s| s.name).collect();
+        for exhibit in ["table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8"] {
+            assert!(names.contains(&exhibit), "missing {exhibit}");
+        }
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate scenario names");
+        assert!(find("fig5").is_some());
+        assert!(find("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn fig3_cells_cover_the_full_grid() {
+        let params = SweepParams {
+            small_records: true,
+            ..tiny_params()
+        };
+        let cells = (find("fig3").unwrap().build)(&params);
+        // 2 record sizes x 19 patterns x 3 methods.
+        assert_eq!(cells.len(), 2 * 19 * 3);
+        assert!(cells.iter().all(|c| c.seed == params.seed));
+        assert!(cells
+            .iter()
+            .all(|c| c.config.layout == LayoutPolicy::RandomBlocks));
+    }
+
+    #[test]
+    fn sensitivity_cells_carry_their_axis() {
+        let cells = (find("fig7").unwrap().build)(&tiny_params());
+        assert_eq!(cells.len(), 6 * 4 * 2);
+        assert!(cells
+            .iter()
+            .all(|c| c.axes.len() == 1 && c.axes[0].name == "disks"));
+        assert_eq!(cells[0].config.n_disks, 1);
+        assert_eq!(cells.last().unwrap().config.n_disks, 32);
+        assert_eq!(cells[0].config.n_iops, 1);
+    }
+
+    #[test]
+    fn derived_seeds_differ_by_cell_identity_only() {
+        let a = derive_seed(1994, &["x", "TC"], &[1]);
+        assert_eq!(a, derive_seed(1994, &["x", "TC"], &[1]));
+        assert_ne!(a, derive_seed(1994, &["x", "TC"], &[2]));
+        assert_ne!(a, derive_seed(1994, &["x", "DDIO"], &[1]));
+        assert_ne!(a, derive_seed(1995, &["x", "TC"], &[1]));
+        // Tag boundaries matter.
+        assert_ne!(
+            derive_seed(1, &["ab", "c"], &[]),
+            derive_seed(1, &["a", "bc"], &[])
+        );
+    }
+
+    #[test]
+    fn new_scenario_cells_have_unique_seeds() {
+        for name in ["mixed-rw", "degraded-disk", "record-cp-cross"] {
+            let cells = (find(name).unwrap().build)(&tiny_params());
+            assert!(!cells.is_empty(), "{name} built no cells");
+            let mut seeds: Vec<u64> = cells.iter().map(|c| c.seed).collect();
+            seeds.sort_unstable();
+            seeds.dedup();
+            assert_eq!(seeds.len(), cells.len(), "{name} reused a seed");
+        }
+    }
+
+    #[test]
+    fn degraded_disk_levels_mutate_the_drive() {
+        let cells = (find("degraded-disk").unwrap().build)(&tiny_params());
+        let healthy = &cells[0].config.disk;
+        let cacheless = &cells[2].config.disk;
+        let tired = &cells[4].config.disk;
+        assert!(healthy.cache_sectors > 0);
+        assert_eq!(cacheless.cache_sectors, 0);
+        assert_eq!(
+            tired.controller_overhead,
+            healthy.controller_overhead.times(4)
+        );
+    }
+
+    #[test]
+    fn run_scenario_is_order_stable_across_jobs() {
+        let params = tiny_params();
+        let scenario = find("mixed-rw").unwrap();
+        let serial = run_scenario(&scenario, &params, 1);
+        let parallel = run_scenario(&scenario, &params, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.point.pattern, p.point.pattern);
+            assert_eq!(
+                s.point.trials, p.point.trials,
+                "{} diverged",
+                s.point.pattern
+            );
+        }
+        let agg = aggregate(&serial).unwrap();
+        assert_eq!(agg.n, serial.len() * params.trials);
+    }
+
+    #[test]
+    fn render_includes_heading_and_rows() {
+        let params = tiny_params();
+        let scenario = find("record-cp-cross").unwrap();
+        let results = run_scenario(&scenario, &params, 2);
+        let text = render(&scenario, &params, &results);
+        assert!(text.contains("Record size x CP count"));
+        assert!(text.contains("cps=4 record=1024"));
+        assert!(text.contains("pooled over"));
+    }
+
+    #[test]
+    fn machine_table_lists_the_landmarks() {
+        let table = format_machine_table(&MachineConfig::default());
+        for landmark in ["HP 97560", "6x6 torus", "10 MB", "wormhole"] {
+            assert!(table.contains(landmark), "missing {landmark}");
+        }
+    }
+}

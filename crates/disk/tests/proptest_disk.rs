@@ -89,3 +89,31 @@ proptest! {
         prop_assert!(sequential <= shuffled);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Seek time between two cylinders is symmetric and agrees with the
+    /// distance form.
+    #[test]
+    fn seek_between_is_symmetric(a in 0u32..1962, b in 0u32..1962) {
+        let c = SeekCurve::HP_97560;
+        prop_assert_eq!(c.seek_between(a, b), c.seek_between(b, a));
+        prop_assert_eq!(c.seek_between(a, b), c.seek_time(a.abs_diff(b)));
+        prop_assert_eq!(c.seek_between(a, a), SimDuration::ZERO);
+    }
+
+    /// Monotonicity holds for arbitrary distance pairs (not just adjacent
+    /// ones), across the short-seek / long-seek regime boundary, and the
+    /// full stroke is the maximum over the region.
+    #[test]
+    fn seek_curve_is_monotone_across_regimes(d1 in 0u32..1962, d2 in 0u32..1962) {
+        let c = SeekCurve::HP_97560;
+        let (lo, hi) = (d1.min(d2), d1.max(d2));
+        prop_assert!(c.seek_time(lo) <= c.seek_time(hi),
+            "seek({lo}) > seek({hi})");
+        prop_assert!(c.seek_time(hi) <= c.full_stroke(1962));
+        // Average seek over a region never exceeds its full stroke.
+        prop_assert!(c.average_seek_time(hi.max(2)) <= c.full_stroke(hi.max(2) ));
+    }
+}

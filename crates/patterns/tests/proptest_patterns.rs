@@ -102,3 +102,70 @@ proptest! {
         prop_assert_eq!(total, expected);
     }
 }
+
+use ddio_patterns::{processor_grid, Dist};
+
+fn arb_dist() -> impl Strategy<Value = Dist> {
+    prop::sample::select(vec![Dist::None, Dist::Block, Dist::Cyclic])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// For every distribution, extent, and processor count: the per-owner
+    /// pieces partition the dimension with no overlap — every element has
+    /// exactly one (owner, local) slot, local indices are dense `0..count`,
+    /// and the counts sum to the extent.
+    #[test]
+    fn dist_partitions_dimension_without_overlap(
+        dist in arb_dist(),
+        n in 1u64..300,
+        p in 1usize..17,
+    ) {
+        let mut counted = vec![0u64; p];
+        let mut seen_local: Vec<Vec<bool>> = vec![Vec::new(); p];
+        for i in 0..n {
+            let (owner, local) = dist.map(i, n, p);
+            prop_assert!(owner < p, "owner {owner} out of range");
+            prop_assert!(local < n);
+            counted[owner] += 1;
+            let slots = &mut seen_local[owner];
+            if slots.len() <= local as usize {
+                slots.resize(local as usize + 1, false);
+            }
+            // No overlap: a (owner, local) slot is hit at most once.
+            prop_assert!(!slots[local as usize], "{dist:?}: slot ({owner},{local}) hit twice");
+            slots[local as usize] = true;
+        }
+        prop_assert_eq!(counted.iter().sum::<u64>(), n, "counts must sum to the extent");
+        for owner in 0..p {
+            prop_assert_eq!(counted[owner], dist.count(n, p, owner),
+                "count() disagrees with map() for {:?} owner {}", dist, owner);
+            // Dense locals: exactly 0..count, no holes.
+            prop_assert!(seen_local[owner].iter().all(|&b| b),
+                "{dist:?}: owner {owner} has a hole in its local indices");
+        }
+        prop_assert!(dist.processors_used(p) <= p);
+    }
+
+    /// The processor grid always uses exactly `p` processors (collapsed
+    /// dimensions excepted) and respects NONE collapsing.
+    #[test]
+    fn processor_grid_is_consistent(
+        rows in arb_dist(),
+        cols in arb_dist(),
+        p in 1usize..65,
+    ) {
+        let (r, c) = processor_grid(p, rows, cols);
+        prop_assert!(r >= 1 && c >= 1);
+        match (rows, cols) {
+            (Dist::None, Dist::None) => prop_assert_eq!((r, c), (1, 1)),
+            (Dist::None, _) => prop_assert_eq!((r, c), (1, p)),
+            (_, Dist::None) => prop_assert_eq!((r, c), (p, 1)),
+            _ => {
+                prop_assert_eq!(r * c, p, "grid must cover all processors");
+                prop_assert!(r <= c, "rows exceed cols: {}x{}", r, c);
+            }
+        }
+    }
+}

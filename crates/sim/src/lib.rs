@@ -55,5 +55,5 @@ pub mod sync;
 mod time;
 
 pub use executor::{join_all, JoinHandle, Sim, SimContext, Sleep, TaskId, YieldNow};
-pub use rng::SimRng;
+pub use rng::{mix64, SimRng};
 pub use time::{SimDuration, SimTime};

@@ -10,9 +10,9 @@ use std::rc::Rc;
 /// The golden-ratio increment of SplitMix64's state walk.
 const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
 
-/// SplitMix64's avalanche finalizer, shared by the stream generator and
-/// [`SimRng::derive`].
-fn mix64(mut z: u64) -> u64 {
+/// SplitMix64's avalanche finalizer, shared by the stream generator,
+/// [`SimRng::derive`], and downstream seed-derivation helpers.
+pub fn mix64(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)

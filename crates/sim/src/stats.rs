@@ -142,6 +142,32 @@ impl Summary {
             self.std_dev / self.mean
         }
     }
+
+    /// Merges two summaries as if their underlying samples were pooled,
+    /// using Chan et al.'s parallel-variance combination. This lets trial
+    /// sets collected independently (e.g. on different worker threads) be
+    /// reduced without keeping every sample around.
+    pub fn merge(&self, other: &Summary) -> Summary {
+        let n = self.n + other.n;
+        let (na, nb) = (self.n as f64, other.n as f64);
+        let mean = (self.mean * na + other.mean * nb) / n as f64;
+        let m2_a = self.std_dev * self.std_dev * (na - 1.0).max(0.0);
+        let m2_b = other.std_dev * other.std_dev * (nb - 1.0).max(0.0);
+        let delta = other.mean - self.mean;
+        let m2 = m2_a + m2_b + delta * delta * na * nb / n as f64;
+        let std_dev = if n > 1 {
+            (m2 / (n - 1) as f64).sqrt()
+        } else {
+            0.0
+        };
+        Summary {
+            n,
+            mean,
+            std_dev,
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
 }
 
 /// Computes a throughput in binary megabytes per second, the unit used by all
@@ -210,6 +236,28 @@ mod tests {
     #[should_panic(expected = "zero samples")]
     fn summary_of_empty_panics() {
         let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    fn merge_matches_pooled_summary() {
+        let a = [2.0, 4.0, 4.0];
+        let b = [4.0, 5.0, 5.0, 7.0, 9.0];
+        let merged = Summary::of(&a).merge(&Summary::of(&b));
+        let pooled = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(merged.n, pooled.n);
+        assert!((merged.mean - pooled.mean).abs() < 1e-12);
+        assert!((merged.std_dev - pooled.std_dev).abs() < 1e-12);
+        assert_eq!(merged.min, pooled.min);
+        assert_eq!(merged.max, pooled.max);
+    }
+
+    #[test]
+    fn merge_of_single_sample_summaries() {
+        let merged = Summary::of(&[3.0]).merge(&Summary::of(&[5.0]));
+        let pooled = Summary::of(&[3.0, 5.0]);
+        assert_eq!(merged.n, 2);
+        assert!((merged.mean - 4.0).abs() < 1e-12);
+        assert!((merged.std_dev - pooled.std_dev).abs() < 1e-12);
     }
 
     #[test]
