@@ -18,7 +18,7 @@ fn small_config(layout: LayoutPolicy) -> MachineConfig {
 fn bench_contiguous_transfers(c: &mut Criterion) {
     let mut group = c.benchmark_group("figures/contiguous_rb_8k");
     group.sample_size(10);
-    for method in [Method::TraditionalCaching, Method::DiskDirectedSorted] {
+    for method in [Method::TC, Method::DDIO_SORTED] {
         group.bench_with_input(
             BenchmarkId::from_parameter(method.label()),
             &method,
@@ -36,11 +36,7 @@ fn bench_contiguous_transfers(c: &mut Criterion) {
 fn bench_random_layout_transfers(c: &mut Criterion) {
     let mut group = c.benchmark_group("figures/random_rc_8k");
     group.sample_size(10);
-    for method in [
-        Method::TraditionalCaching,
-        Method::DiskDirected,
-        Method::DiskDirectedSorted,
-    ] {
+    for method in [Method::TC, Method::DDIO, Method::DDIO_SORTED] {
         group.bench_with_input(
             BenchmarkId::from_parameter(method.label()),
             &method,
@@ -58,7 +54,7 @@ fn bench_random_layout_transfers(c: &mut Criterion) {
 fn bench_write_transfers(c: &mut Criterion) {
     let mut group = c.benchmark_group("figures/contiguous_wcc_1k");
     group.sample_size(10);
-    for method in [Method::TraditionalCaching, Method::DiskDirectedSorted] {
+    for method in [Method::TC, Method::DDIO_SORTED] {
         group.bench_with_input(
             BenchmarkId::from_parameter(method.label()),
             &method,

@@ -16,6 +16,7 @@ use std::io::Write;
 
 use ddio_core::experiment::pool;
 use ddio_core::experiment::scenario::{self, Scenario};
+use ddio_core::SchedSet;
 
 use crate::report::{self, ScenarioRun};
 use crate::Scale;
@@ -44,6 +45,9 @@ pub struct RunCommand {
     pub out: Option<String>,
     /// Scaling knobs after environment + flag resolution.
     pub scale: Scale,
+    /// Scheduling policies the `sched-sweep` scenario runs (all by default;
+    /// other scenarios fix their own policies and ignore this).
+    pub scheds: SchedSet,
 }
 
 const USAGE: &str = "\
@@ -61,9 +65,11 @@ OPTIONS (run):
     --seed N              base random seed (default: env DDIO_SEED or 1994)
     --file-mb N           file size in MiB (default: env DDIO_FILE_MB or 10)
     --small-records 0|1   run the 8-byte-record half of fig3/fig4
+    --sched LIST          comma-separated policies for the sched-sweep
+                          scenario: fcfs|sstf|cscan|presort (default: all)
 
 Scenarios (see `ddio-bench list`): table1 fig3 fig4 fig5 fig6 fig7 fig8
-mixed-rw degraded-disk record-cp-cross";
+mixed-rw degraded-disk sched-sweep record-cp-cross";
 
 fn usage_err(message: impl Into<String>) -> String {
     format!("{}\n\n{USAGE}", message.into())
@@ -93,6 +99,7 @@ pub fn parse_run(
     let mut seed: Option<u64> = None;
     let mut file_mib: Option<u64> = None;
     let mut small_records: Option<bool> = None;
+    let mut scheds = SchedSet::all();
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -129,6 +136,11 @@ pub fn parse_run(
             }
             "--file-mb" => {
                 file_mib = Some(parse_at_least_one("--file-mb", &flag_value("--file-mb")?)?);
+            }
+            "--sched" => {
+                let v = flag_value("--sched")?;
+                scheds =
+                    SchedSet::parse_list(&v).map_err(|e| usage_err(format!("--sched: {e}")))?;
             }
             "--small-records" => {
                 let v = flag_value("--small-records")?;
@@ -201,6 +213,7 @@ pub fn parse_run(
         format,
         out,
         scale,
+        scheds,
     })
 }
 
@@ -213,7 +226,12 @@ pub fn execute_run(cmd: &RunCommand) -> Result<String, String> {
     let mut cells = Vec::new();
     let mut spans = Vec::new();
     for s in &cmd.scenarios {
-        let scenario_cells = (s.build)(&params);
+        let mut scenario_cells = (s.build)(&params);
+        if s.name == "sched-sweep" {
+            // `--sched` narrows the policy sweep; each cell's seed derives
+            // from its own identity, so dropping cells never moves numbers.
+            scenario_cells.retain(|c| cmd.scheds.contains(c.method.sched()));
+        }
         spans.push(scenario_cells.len());
         cells.extend(scenario_cells);
     }
@@ -360,6 +378,25 @@ mod tests {
         // ...but an explicit --trials makes the env value irrelevant.
         let cmd = parse_run(&args(&["fig5", "--trials", "3"]), broken_env).unwrap();
         assert_eq!(cmd.scale.trials, 3);
+    }
+
+    #[test]
+    fn sched_flag_filters_the_sweep() {
+        use ddio_core::SchedPolicy;
+        let cmd = parse_run(
+            &args(&["sched-sweep", "--sched", "fcfs,presort", "--jobs", "2"]),
+            smoke_env,
+        )
+        .unwrap();
+        assert!(cmd.scheds.contains(SchedPolicy::Fcfs));
+        assert!(cmd.scheds.contains(SchedPolicy::Presort));
+        assert!(!cmd.scheds.contains(SchedPolicy::Cscan));
+        let out = execute_run(&cmd).unwrap();
+        assert!(out.contains("DDIO(sort)") && out.contains("DDIO"));
+        assert!(!out.contains("cscan"), "filtered policy still ran:\n{out}");
+
+        let err = parse_run(&args(&["sched-sweep", "--sched", "elevator"]), smoke_env).unwrap_err();
+        assert!(err.contains("unknown scheduling policy"), "{err}");
     }
 
     #[test]

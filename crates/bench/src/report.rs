@@ -58,6 +58,29 @@ fn json_summary(s: &Summary) -> String {
     )
 }
 
+/// The per-drive diagnostics of a cell's last trial: queue-depth and
+/// utilization counters, one object per drive.
+fn json_drives(r: &CellResult) -> String {
+    let outcome = &r.point.last_outcome;
+    outcome
+        .disk_stats
+        .iter()
+        .zip(&outcome.disk_utilization)
+        .map(|(s, u)| {
+            format!(
+                "{{\"requests\":{},\"sequential_hits\":{},\"queue_depth_mean\":{},\
+                 \"queue_depth_max\":{},\"utilization\":{}}}",
+                s.requests,
+                s.sequential_hits,
+                json_f64(s.mean_queue_depth()),
+                s.max_queue_depth,
+                json_f64(*u)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
 fn json_cell(r: &CellResult) -> String {
     let axes = r
         .axes
@@ -79,24 +102,29 @@ fn json_cell(r: &CellResult) -> String {
         .collect::<Vec<_>>()
         .join(",");
     format!(
-        "{{\"pattern\":\"{}\",\"method\":\"{}\",\"record_bytes\":{},\"layout\":\"{}\",\
-         \"axes\":[{}],\"seed\":{},\"trials\":[{}],\"summary\":{},\"hardware_limit_mibs\":{}}}",
+        "{{\"pattern\":\"{}\",\"method\":\"{}\",\"sched\":\"{}\",\"record_bytes\":{},\
+         \"layout\":\"{}\",\"axes\":[{}],\"seed\":{},\"trials\":[{}],\"summary\":{},\
+         \"hardware_limit_mibs\":{},\"drives\":[{}]}}",
         json_escape(&r.point.pattern),
-        json_escape(r.point.method.label()),
+        json_escape(&r.point.method.label()),
+        r.point.method.sched().name(),
         r.point.record_bytes,
         r.point.layout.short_name(),
         axes,
         r.seed,
         trials,
         json_summary(&r.point.summary),
-        json_f64(r.hardware_limit_mibs)
+        json_f64(r.hardware_limit_mibs),
+        json_drives(r)
     )
 }
 
 /// Renders a whole run — scale header plus every scenario's cells and pooled
 /// aggregate — as one JSON document. The schema is stable: scripts may rely
 /// on `scale`, `scenarios[].name`, `scenarios[].cells[]`, and the cell
-/// fields emitted by this version.
+/// fields emitted by this version, including each cell's `sched` policy name
+/// and the per-drive `drives[]` queue-depth/utilization counters from its
+/// last trial.
 pub fn render_json(scale: &Scale, runs: &[ScenarioRun]) -> String {
     let mut out = String::from("{");
     out.push_str(&format!(
@@ -415,6 +443,11 @@ mod tests {
             "\"aggregate\"",
             "\"mixed-rw\"",
             "\"hardware_limit_mibs\"",
+            "\"sched\"",
+            "\"drives\"",
+            "\"queue_depth_mean\"",
+            "\"queue_depth_max\"",
+            "\"utilization\"",
         ] {
             assert!(json.contains(landmark), "missing {landmark}");
         }

@@ -69,7 +69,7 @@ impl std::error::Error for CollectiveError {}
 /// };
 /// let file = CollectiveFile::new(config);
 /// let outcome = file
-///     .read_distributed("rb", 8192, Method::DiskDirectedSorted, 1)
+///     .read_distributed("rb", 8192, Method::DDIO_SORTED, 1)
 ///     .expect("valid request");
 /// assert!(outcome.throughput_mibs > 0.0);
 /// ```
@@ -173,11 +173,11 @@ mod tests {
     fn read_and_write_round_trip() {
         let file = small_file();
         let read = file
-            .read_distributed("rb", 8192, Method::DiskDirectedSorted, 3)
+            .read_distributed("rb", 8192, Method::DDIO_SORTED, 3)
             .expect("read works");
         assert!(read.verify.as_ref().unwrap().complete, "{read:?}");
         let write = file
-            .write_distributed("wb", 8192, Method::TraditionalCaching, 3)
+            .write_distributed("wb", 8192, Method::TC, 3)
             .expect("write works");
         assert!(write.verify.as_ref().unwrap().complete, "{write:?}");
     }
@@ -186,20 +186,20 @@ mod tests {
     fn errors_are_reported_not_panicked() {
         let file = small_file();
         assert!(matches!(
-            file.read_distributed("zz", 8192, Method::DiskDirected, 1),
+            file.read_distributed("zz", 8192, Method::DDIO, 1),
             Err(CollectiveError::UnknownPattern(_))
         ));
         assert!(matches!(
-            file.read_distributed("wb", 8192, Method::DiskDirected, 1),
+            file.read_distributed("wb", 8192, Method::DDIO, 1),
             Err(CollectiveError::DirectionMismatch { .. })
         ));
         assert!(matches!(
-            file.read_distributed("rb", 10_000, Method::DiskDirected, 1),
+            file.read_distributed("rb", 10_000, Method::DDIO, 1),
             Err(CollectiveError::BadRecordSize { .. })
         ));
         // Errors format into readable messages.
         let err = file
-            .read_distributed("zz", 8192, Method::DiskDirected, 1)
+            .read_distributed("zz", 8192, Method::DDIO, 1)
             .unwrap_err();
         assert!(err.to_string().contains("unknown access pattern"));
     }

@@ -5,8 +5,10 @@
 //! * The CPs barrier, then one of them multicasts a single collective request
 //!   to every IOP.
 //! * Each IOP determines which of the file's blocks live on its disks, sorts
-//!   the list by physical location (the "presort" variant), and runs two
-//!   buffer tasks per disk that keep the drive continuously busy
+//!   the list by physical location when the scheduling policy is
+//!   [`SchedPolicy::Presort`] (the paper's sorted variant; other policies
+//!   leave the list unsorted and let the drive's own scheduler reorder), and
+//!   runs two buffer tasks per disk that keep the drive continuously busy
 //!   (double-buffering).
 //! * For reads, each block's contents are routed directly into the right CP
 //!   memories with Memput messages; for writes, the IOP issues concurrent
@@ -18,7 +20,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
-use ddio_disk::DiskRequest;
+use ddio_disk::{DiskRequest, SchedPolicy};
 use ddio_patterns::AccessKind;
 use ddio_sim::sync::{Barrier, CountdownEvent};
 use ddio_sim::{join_all, Sim, SimContext};
@@ -123,15 +125,15 @@ impl IopServer {
         self.run.record_file_bytes(bstart, bend - bstart);
     }
 
-    /// Runs the whole collective operation on this IOP: build (and optionally
-    /// sort) each disk's block list, run the buffer tasks, then notify the
-    /// requesting CP.
+    /// Runs the whole collective operation on this IOP: build (and, under
+    /// the presort policy, sort) each disk's block list, run the buffer
+    /// tasks, then notify the requesting CP.
     async fn run_collective(
         self: Rc<Self>,
         ctx: SimContext,
         requesting_cp: usize,
         op: AccessKind,
-        presort: bool,
+        sched: SchedPolicy,
     ) {
         let costs = self.run.config.costs;
         self.parts.cpu.use_for(costs.collective_setup_cpu).await;
@@ -139,7 +141,7 @@ impl IopServer {
         let mut buffer_tasks = Vec::new();
         for (disk_id, disk) in &self.parts.disks {
             let mut blocks: Vec<(u64, u64)> = self.run.layout.blocks_on_disk(*disk_id);
-            if presort {
+            if sched == SchedPolicy::Presort {
                 // Sort by physical location to minimize arm movement.
                 blocks.sort_by_key(|&(_, sector)| sector);
             }
@@ -246,7 +248,7 @@ pub(crate) fn spawn_transfer(
     iops: &[Rc<IopParts>],
     cp_inboxes: Vec<Inbox>,
     iop_inboxes: Vec<Inbox>,
-    presort: bool,
+    sched: SchedPolicy,
 ) {
     let config = &run.config;
     let op = if run.pattern.is_write() {
@@ -271,7 +273,7 @@ pub(crate) fn spawn_transfer(
                         let server = Rc::clone(&server);
                         let task_ctx = server_ctx.clone();
                         server_ctx.spawn(async move {
-                            server.run_collective(task_ctx, cp, op, presort).await;
+                            server.run_collective(task_ctx, cp, op, sched).await;
                         });
                     }
                     FsMessage::MemgetReply { id, .. } => {

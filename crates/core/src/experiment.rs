@@ -284,7 +284,7 @@ mod tests {
         let cfg = tiny_config();
         let dp = run_data_point(
             &cfg,
-            Method::DiskDirected,
+            Method::DDIO,
             AccessPattern::parse("rb").unwrap(),
             8192,
             3,
@@ -309,7 +309,7 @@ mod tests {
         let cfg = tiny_config();
         let outcome = run_transfer(
             &cfg,
-            Method::DiskDirected,
+            Method::DDIO,
             AccessPattern::parse("rb").unwrap(),
             8192,
             1,
@@ -324,10 +324,10 @@ mod tests {
             last_outcome: outcome.clone(),
         };
         let points = vec![
-            mk("ra", Method::TraditionalCaching, 3.0),
-            mk("ra", Method::DiskDirected, 6.0),
-            mk("rb", Method::TraditionalCaching, 2.0),
-            mk("rb", Method::DiskDirected, 7.0),
+            mk("ra", Method::TC, 3.0),
+            mk("ra", Method::DDIO, 6.0),
+            mk("rb", Method::TC, 2.0),
+            mk("rb", Method::DDIO, 7.0),
         ];
         let table = format_pattern_table(&points, "test table");
         assert!(table.contains("test table"));
@@ -348,10 +348,10 @@ mod tests {
             hardware_limit_mibs: 37.5,
         };
         let points = vec![
-            mk(8, Method::DiskDirected, "ra", 30.0),
-            mk(2, Method::DiskDirected, "ra", 28.0),
-            mk(8, Method::TraditionalCaching, "ra", 20.0),
-            mk(2, Method::TraditionalCaching, "ra", 15.0),
+            mk(8, Method::DDIO, "ra", 30.0),
+            mk(2, Method::DDIO, "ra", 28.0),
+            mk(8, Method::TC, "ra", 20.0),
+            mk(2, Method::TC, "ra", 15.0),
         ];
         let table = format_sensitivity_table(&points, "sensitivity");
         let idx2 = table.find("\n2 ").expect("row for 2");

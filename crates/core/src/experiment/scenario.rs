@@ -19,7 +19,7 @@
 use ddio_patterns::AccessPattern;
 pub use ddio_sim::stats::Summary;
 
-use crate::config::{LayoutPolicy, MachineConfig, Method};
+use crate::config::{LayoutPolicy, MachineConfig, Method, SchedPolicy};
 use crate::experiment::pool;
 use crate::experiment::{
     format_pattern_table, format_sensitivity_table, run_data_point, DataPoint, SensitivityPoint,
@@ -312,6 +312,18 @@ pub fn registry() -> Vec<Scenario> {
             note: None,
         },
         Scenario {
+            name: "sched-sweep",
+            title: "Disk-scheduling policy sweep (random-blocks layout)",
+            description: "FCFS vs SSTF vs CSCAN vs presort queues, TC and DDIO, fig5-style patterns",
+            report: Report::Flat,
+            build: build_sched_sweep,
+            note: Some(|_| {
+                "Deep drive queues (8 DDIO buffers per disk) so the drive-level policies have \
+                 requests to reorder"
+                    .to_owned()
+            }),
+        },
+        Scenario {
             name: "record-cp-cross",
             title: "Record size x CP count cross sweep",
             description: "record sizes crossed with CP counts, rb pattern, both methods",
@@ -374,11 +386,7 @@ fn build_fig3(params: &SweepParams) -> Vec<Cell> {
         "fig3",
         params,
         LayoutPolicy::RandomBlocks,
-        &[
-            Method::TraditionalCaching,
-            Method::DiskDirected,
-            Method::DiskDirectedSorted,
-        ],
+        &[Method::TC, Method::DDIO, Method::DDIO_SORTED],
     )
 }
 
@@ -389,7 +397,7 @@ fn build_fig4(params: &SweepParams) -> Vec<Cell> {
         "fig4",
         params,
         LayoutPolicy::Contiguous,
-        &[Method::TraditionalCaching, Method::DiskDirectedSorted],
+        &[Method::TC, Method::DDIO_SORTED],
     )
 }
 
@@ -403,7 +411,7 @@ fn sensitivity_cells(
     values: &[usize],
     mutate: fn(&mut MachineConfig, usize),
 ) -> Vec<Cell> {
-    let methods = [Method::TraditionalCaching, Method::DiskDirectedSorted];
+    let methods = [Method::TC, Method::DDIO_SORTED];
     let mut cells = Vec::new();
     for &value in values {
         let mut config = base.clone();
@@ -486,7 +494,7 @@ fn build_fig8(params: &SweepParams) -> Vec<Cell> {
 /// axis is the phase index.
 fn build_mixed_rw(params: &SweepParams) -> Vec<Cell> {
     let phases = ["rb", "wb", "rc", "wc"];
-    let methods = [Method::TraditionalCaching, Method::DiskDirectedSorted];
+    let methods = [Method::TC, Method::DDIO_SORTED];
     let mut cells = Vec::new();
     for (i, name) in phases.iter().enumerate() {
         let pattern = AccessPattern::parse(name).expect("known pattern");
@@ -500,7 +508,7 @@ fn build_mixed_rw(params: &SweepParams) -> Vec<Cell> {
                 axes: vec![Axis::new("phase", i as u64)],
                 seed: derive_seed(
                     params.seed,
-                    &["mixed-rw", name, method.label()],
+                    &["mixed-rw", name, &method.label()],
                     &[i as u64],
                 ),
             });
@@ -513,7 +521,7 @@ fn build_mixed_rw(params: &SweepParams) -> Vec<Cell> {
 /// loses the on-board read-ahead cache, level 2 additionally quadruples the
 /// mechanical overheads (controller, head switch) — a tired drive.
 fn build_degraded_disk(params: &SweepParams) -> Vec<Cell> {
-    let methods = [Method::TraditionalCaching, Method::DiskDirectedSorted];
+    let methods = [Method::TC, Method::DDIO_SORTED];
     let pattern = AccessPattern::parse("rb").expect("known pattern");
     let mut cells = Vec::new();
     for level in 0u64..=2 {
@@ -533,8 +541,48 @@ fn build_degraded_disk(params: &SweepParams) -> Vec<Cell> {
                 pattern,
                 record_bytes: 8192,
                 axes: vec![Axis::new("degradation", level)],
-                seed: derive_seed(params.seed, &["degraded-disk", method.label()], &[level]),
+                seed: derive_seed(params.seed, &["degraded-disk", &method.label()], &[level]),
             });
+        }
+    }
+    cells
+}
+
+/// The scheduling-policy sweep: every [`SchedPolicy`] for both file systems
+/// across the fig5-style patterns on the random-blocks layout (where request
+/// order matters most). DDIO runs with eight buffers per disk instead of the
+/// paper's two so the drive's queue is deep enough for the drive-level
+/// policies (SSTF/CSCAN) to actually reorder; the presort policy instead
+/// sorts the whole batch at submission, and FCFS is the unsorted baseline.
+/// This is the experiment the paper's §6 gestures at: how much of DDIO's
+/// advantage survives once the disk queue itself gets smart?
+fn build_sched_sweep(params: &SweepParams) -> Vec<Cell> {
+    let config = MachineConfig {
+        layout: LayoutPolicy::RandomBlocks,
+        ddio_buffers_per_disk: 8,
+        ..params.base.clone()
+    };
+    let mut cells = Vec::new();
+    for pattern in AccessPattern::sensitivity_patterns() {
+        for sched in SchedPolicy::ALL {
+            for method in [
+                Method::TraditionalCaching(sched),
+                Method::DiskDirected(sched),
+            ] {
+                cells.push(Cell {
+                    scenario: "sched-sweep",
+                    config: config.clone(),
+                    method,
+                    pattern,
+                    record_bytes: 8192,
+                    axes: Vec::new(),
+                    seed: derive_seed(
+                        params.seed,
+                        &["sched-sweep", &pattern.name(), &method.label()],
+                        &[],
+                    ),
+                });
+            }
         }
     }
     cells
@@ -545,7 +593,7 @@ fn build_degraded_disk(params: &SweepParams) -> Vec<Cell> {
 fn build_record_cp_cross(params: &SweepParams) -> Vec<Cell> {
     let records = [1024u64, 8192, 65536];
     let cps = [4usize, 16];
-    let methods = [Method::TraditionalCaching, Method::DiskDirectedSorted];
+    let methods = [Method::TC, Method::DDIO_SORTED];
     let pattern = AccessPattern::parse("rb").expect("known pattern");
     let mut cells = Vec::new();
     for &n_cps in &cps {
@@ -568,7 +616,7 @@ fn build_record_cp_cross(params: &SweepParams) -> Vec<Cell> {
                     ],
                     seed: derive_seed(
                         params.seed,
-                        &["record-cp-cross", method.label()],
+                        &["record-cp-cross", &method.label()],
                         &[n_cps as u64, record_bytes],
                     ),
                 });
@@ -847,8 +895,38 @@ mod tests {
     }
 
     #[test]
+    fn sched_sweep_covers_every_policy_for_both_methods() {
+        let cells = (find("sched-sweep").unwrap().build)(&tiny_params());
+        // 4 sensitivity patterns x 4 policies x {TC, DDIO}.
+        assert_eq!(cells.len(), 4 * 4 * 2);
+        for policy in SchedPolicy::ALL {
+            assert!(
+                cells
+                    .iter()
+                    .any(|c| c.method == Method::DiskDirected(policy)),
+                "no DDIO cell for {policy}"
+            );
+            assert!(
+                cells
+                    .iter()
+                    .any(|c| c.method == Method::TraditionalCaching(policy)),
+                "no TC cell for {policy}"
+            );
+        }
+        assert!(cells
+            .iter()
+            .all(|c| c.config.layout == LayoutPolicy::RandomBlocks
+                && c.config.ddio_buffers_per_disk == 8));
+    }
+
+    #[test]
     fn new_scenario_cells_have_unique_seeds() {
-        for name in ["mixed-rw", "degraded-disk", "record-cp-cross"] {
+        for name in [
+            "mixed-rw",
+            "degraded-disk",
+            "record-cp-cross",
+            "sched-sweep",
+        ] {
             let cells = (find(name).unwrap().build)(&tiny_params());
             assert!(!cells.is_empty(), "{name} built no cells");
             let mut seeds: Vec<u64> = cells.iter().map(|c| c.seed).collect();

@@ -3,14 +3,19 @@
 //!
 //! The crate contains both file-system designs the paper compares:
 //!
-//! * **Traditional caching** ([`Method::TraditionalCaching`]): each CP issues
+//! * **Traditional caching** ([`Method::TC`]): each CP issues
 //!   one request per contiguous chunk of the file; IOPs run an LRU block
 //!   cache with one-block-ahead prefetch and write-behind.
-//! * **Disk-directed I/O** ([`Method::DiskDirected`] /
-//!   [`Method::DiskDirectedSorted`]): the CPs issue a single collective
+//! * **Disk-directed I/O** ([`Method::DDIO`] /
+//!   [`Method::DDIO_SORTED`]): the CPs issue a single collective
 //!   request; each IOP derives its own block list, optionally presorts it by
 //!   physical location, and streams data directly between its disks and the
 //!   CP memories with Memput/Memget messages and two buffers per disk.
+//!
+//! Both file systems run their drives under a pluggable disk-scheduling
+//! policy ([`SchedPolicy`]): each [`Method`] variant carries the policy, so
+//! FCFS, SSTF, CSCAN, and the paper's submission-side presort are all
+//! configurations of one subsystem rather than special cases.
 //!
 //! On top sit the striped-file layout machinery ([`FileLayout`],
 //! [`LayoutPolicy`]), the user-facing collective API ([`CollectiveFile`]),
@@ -29,8 +34,8 @@
 //!     ..MachineConfig::default()
 //! };
 //! let pattern = AccessPattern::parse("rb").unwrap();
-//! let ddio = run_transfer(&config, Method::DiskDirectedSorted, pattern, 8192, 1);
-//! let tc = run_transfer(&config, Method::TraditionalCaching, pattern, 8192, 1);
+//! let ddio = run_transfer(&config, Method::DDIO_SORTED, pattern, 8192, 1);
+//! let tc = run_transfer(&config, Method::TC, pattern, 8192, 1);
 //! assert!(ddio.throughput_mibs > tc.throughput_mibs * 0.9);
 //! ```
 
@@ -49,7 +54,7 @@ mod tc;
 mod util;
 
 pub use collective::{CollectiveError, CollectiveFile};
-pub use config::{CostModel, LayoutPolicy, MachineConfig, Method};
+pub use config::{CostModel, LayoutPolicy, MachineConfig, Method, SchedPolicy, SchedSet};
 pub use layout::{BlockLocation, FileLayout};
 pub use machine::{run_transfer, TransferOutcome, VerifyReport};
 pub use msg::FsMessage;

@@ -8,7 +8,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use ddio_disk::{spawn_disk, DiskHandle, DiskStats, ScsiBus};
+use ddio_disk::{spawn_disk, DiskHandle, DiskParams, DiskStats, ScsiBus};
 use ddio_net::{Envelope, Network, Torus};
 use ddio_patterns::{AccessPattern, PatternInstance};
 use ddio_sim::stats::throughput_mibs;
@@ -126,6 +126,8 @@ pub struct TransferOutcome {
     pub network_bytes: u64,
     /// Per-disk statistics.
     pub disk_stats: Vec<DiskStats>,
+    /// Per-disk utilization: busy time as a fraction of the whole transfer.
+    pub disk_utilization: Vec<f64>,
     /// Per-IOP bus utilization over each bus's active window.
     pub bus_utilization: Vec<f64>,
     /// Data-placement verification (present only when `config.verify`).
@@ -142,6 +144,33 @@ impl TransferOutcome {
         }
         let hits: u64 = self.disk_stats.iter().map(|s| s.sequential_hits).sum();
         hits as f64 / total as f64
+    }
+
+    /// Mean per-drive utilization (busy time / elapsed time) across disks.
+    pub fn mean_disk_utilization(&self) -> f64 {
+        if self.disk_utilization.is_empty() {
+            return 0.0;
+        }
+        self.disk_utilization.iter().sum::<f64>() / self.disk_utilization.len() as f64
+    }
+
+    /// Mean pending-queue depth observed at dispatch, pooled over all disks.
+    pub fn mean_disk_queue_depth(&self) -> f64 {
+        let requests: u64 = self.disk_stats.iter().map(|s| s.requests).sum();
+        if requests == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self.disk_stats.iter().map(|s| s.queue_depth_sum).sum();
+        sum as f64 / requests as f64
+    }
+
+    /// Deepest drive queue observed at any dispatch on any disk.
+    pub fn max_disk_queue_depth(&self) -> u64 {
+        self.disk_stats
+            .iter()
+            .map(|s| s.max_queue_depth)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -211,7 +240,24 @@ pub fn run_transfer(
         }));
     }
 
-    // Build the IOPs with their buses and disks.
+    // Build the IOPs with their buses and disks. The drives run the method's
+    // scheduling policy: the Method is the single scheduling knob of a
+    // transfer, copied here into each drive's parameters. A non-default
+    // `config.disk.sched` that disagrees with the method would be silently
+    // ignored, so it is rejected instead.
+    assert!(
+        config.disk.sched == ddio_disk::SchedPolicy::default()
+            || config.disk.sched == method.sched(),
+        "config.disk.sched is {} but the method runs {}: the Method carries the scheduling \
+         policy for a transfer (e.g. Method::TraditionalCaching(SchedPolicy::{:?}))",
+        config.disk.sched,
+        method.sched(),
+        config.disk.sched,
+    );
+    let drive_params = DiskParams {
+        sched: method.sched(),
+        ..config.disk
+    };
     let mut iop_inboxes = Vec::with_capacity(config.n_iops);
     let mut iops = Vec::with_capacity(config.n_iops);
     for iop in 0..config.n_iops {
@@ -224,7 +270,7 @@ pub fn run_transfer(
         );
         let disks = config
             .disks_of_iop(iop)
-            .map(|disk| (disk, spawn_disk(&ctx, disk, config.disk)))
+            .map(|disk| (disk, spawn_disk(&ctx, disk, drive_params)))
             .collect();
         iops.push(Rc::new(IopParts {
             iop,
@@ -236,11 +282,19 @@ pub fn run_transfer(
     }
 
     match method {
-        Method::TraditionalCaching => {
-            tc::spawn_transfer(&mut sim, &ctx, &run, &cps, &iops, cp_inboxes, iop_inboxes);
+        Method::TraditionalCaching(sched) => {
+            tc::spawn_transfer(
+                &mut sim,
+                &ctx,
+                &run,
+                &cps,
+                &iops,
+                cp_inboxes,
+                iop_inboxes,
+                sched,
+            );
         }
-        Method::DiskDirected | Method::DiskDirectedSorted => {
-            let presort = method == Method::DiskDirectedSorted;
+        Method::DiskDirected(sched) => {
             ddio::spawn_transfer(
                 &mut sim,
                 &ctx,
@@ -249,7 +303,7 @@ pub fn run_transfer(
                 &iops,
                 cp_inboxes,
                 iop_inboxes,
-                presort,
+                sched,
             );
         }
     }
@@ -260,6 +314,16 @@ pub fn run_transfer(
     let disk_stats: Vec<DiskStats> = iops
         .iter()
         .flat_map(|iop| iop.disks.iter().map(|(_, d)| d.stats()))
+        .collect();
+    let disk_utilization = disk_stats
+        .iter()
+        .map(|s| {
+            if elapsed > SimDuration::ZERO {
+                s.busy_time.as_secs_f64() / elapsed.as_secs_f64()
+            } else {
+                0.0
+            }
+        })
         .collect();
     let bus_utilization = iops.iter().map(|iop| iop.bus.utilization()).collect();
 
@@ -281,6 +345,7 @@ pub fn run_transfer(
         messages: net.messages_sent(),
         network_bytes: net.bytes_sent(),
         disk_stats,
+        disk_utilization,
         bus_utilization,
         verify: verify_report,
     }
@@ -324,5 +389,53 @@ fn verify_transfer(pattern: &PatternInstance, v: &VerifyState) -> VerifyReport {
             complete: true,
             detail: "every CP buffer filled exactly once".to_owned(),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{LayoutPolicy, SchedPolicy};
+    use ddio_patterns::AccessPattern;
+
+    fn tiny_config() -> MachineConfig {
+        MachineConfig {
+            n_cps: 2,
+            n_iops: 2,
+            n_disks: 2,
+            file_bytes: 128 * 1024,
+            layout: LayoutPolicy::Contiguous,
+            ..MachineConfig::default()
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "the Method carries the scheduling")]
+    fn conflicting_config_sched_is_rejected() {
+        // A non-default drive policy that disagrees with the method would be
+        // silently ignored; it must fail loudly instead.
+        let mut config = tiny_config();
+        config.disk.sched = SchedPolicy::Cscan;
+        run_transfer(
+            &config,
+            Method::TC,
+            AccessPattern::parse("rb").unwrap(),
+            8192,
+            1,
+        );
+    }
+
+    #[test]
+    fn matching_config_sched_is_accepted() {
+        let mut config = tiny_config();
+        config.disk.sched = SchedPolicy::Cscan;
+        let outcome = run_transfer(
+            &config,
+            Method::TraditionalCaching(SchedPolicy::Cscan),
+            AccessPattern::parse("rb").unwrap(),
+            8192,
+            1,
+        );
+        assert!(outcome.throughput_mibs > 0.0);
     }
 }

@@ -17,7 +17,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use ddio_disk::DiskRequest;
+use ddio_disk::{DiskRequest, SchedPolicy};
 use ddio_patterns::AccessKind;
 use ddio_sim::sync::{oneshot, Barrier, CountdownEvent};
 use ddio_sim::{Sim, SimContext};
@@ -341,6 +341,13 @@ impl CpClient {
 }
 
 /// Spawns every task of a traditional-caching transfer.
+///
+/// `sched` is the transfer's scheduling policy. The drives themselves were
+/// already spawned with it; here it additionally controls the baseline's
+/// submission order: under [`SchedPolicy::Presort`] each CP sorts its
+/// per-disk request stream by physical location (the baseline analog of the
+/// disk-directed block-list presort), while the drive-level policies
+/// (SSTF/CSCAN) leave the streams in request order and reorder at the drive.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn spawn_transfer(
     sim: &mut Sim,
@@ -350,6 +357,7 @@ pub(crate) fn spawn_transfer(
     iops: &[Rc<IopParts>],
     cp_inboxes: Vec<Inbox>,
     iop_inboxes: Vec<Inbox>,
+    sched: SchedPolicy,
 ) {
     let config = &run.config;
     let op = if run.pattern.is_write() {
@@ -436,6 +444,13 @@ pub(crate) fn spawn_transfer(
             let mut per_disk: Vec<Vec<SubRequest>> = vec![Vec::new(); n_disks];
             for sub in subs {
                 per_disk[run2.layout.disk_of_block(sub.block)].push(sub);
+            }
+            if sched == SchedPolicy::Presort {
+                // The baseline's presort: each disk stream is issued in
+                // physical-location order instead of request order.
+                for stream in &mut per_disk {
+                    stream.sort_by_key(|sub| run2.layout.location(sub.block).start_sector);
+                }
             }
             let inflight = PendingCounter::new();
             for stream in per_disk {

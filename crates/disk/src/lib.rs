@@ -15,6 +15,8 @@
 //! * [`SeekCurve`] — the two-regime HP 97560 seek-time curve.
 //! * [`DiskModel`] — the pure service-time model (seek + rotation + transfer
 //!   + read-ahead cache).
+//! * [`DiskScheduler`] / [`SchedPolicy`] — the pluggable queue-scheduling
+//!   subsystem (FCFS, SSTF, CSCAN, and the paper's presort).
 //! * [`DiskHandle`] / [`spawn_disk`] — the async disk-server task.
 //! * [`ScsiBus`] — the shared 10 MB/s bus between an IOP and its drives.
 
@@ -26,6 +28,7 @@ mod drive;
 mod geometry;
 mod model;
 mod request;
+mod sched;
 mod seek;
 
 pub use bus::{ScsiBus, SCSI_ARBITRATION, SCSI_BUS_BANDWIDTH};
@@ -33,4 +36,5 @@ pub use drive::{spawn_disk, DiskHandle};
 pub use geometry::{Chs, Geometry};
 pub use model::{DiskModel, DiskParams, DiskStats};
 pub use request::{DiskOp, DiskRequest, ServiceBreakdown};
+pub use sched::{DiskScheduler, SchedPolicy, SchedSet};
 pub use seek::SeekCurve;

@@ -12,6 +12,7 @@ use ddio_sim::{SimDuration, SimTime};
 
 use crate::geometry::Geometry;
 use crate::request::{DiskOp, DiskRequest, ServiceBreakdown};
+use crate::sched::SchedPolicy;
 use crate::seek::SeekCurve;
 
 /// Parameters of the drive model.
@@ -29,6 +30,13 @@ pub struct DiskParams {
     pub cache_hit_overhead: SimDuration,
     /// Size of the read-ahead cache in sectors (0 disables read-ahead).
     pub cache_sectors: u64,
+    /// Scheduling policy of the drive's pending queue (see
+    /// [`SchedPolicy`]). `spawn_disk` builds the matching
+    /// [`DiskScheduler`](crate::DiskScheduler). For full-machine runs the
+    /// `Method` is the single knob: `ddio-core`'s transfer runner sets this
+    /// field from the method's policy and rejects a conflicting non-default
+    /// value here rather than silently ignoring it.
+    pub sched: SchedPolicy,
 }
 
 impl DiskParams {
@@ -42,6 +50,7 @@ impl DiskParams {
             cache_hit_overhead: SimDuration::from_micros(300),
             // 128 KiB on-board buffer.
             cache_sectors: 256,
+            sched: SchedPolicy::Fcfs,
         }
     }
 
@@ -54,6 +63,7 @@ impl DiskParams {
             controller_overhead: SimDuration::from_millis_f64(0.5),
             cache_hit_overhead: SimDuration::from_micros(100),
             cache_sectors: 64,
+            sched: SchedPolicy::Fcfs,
         }
     }
 }
@@ -75,6 +85,22 @@ pub struct DiskStats {
     pub busy_time: SimDuration,
     /// Total sectors moved.
     pub sectors: u64,
+    /// Sum over dispatches of the queue depth left behind (requests still
+    /// pending when one entered service); divide by `requests` for the mean.
+    pub queue_depth_sum: u64,
+    /// Deepest pending queue observed at any dispatch.
+    pub max_queue_depth: u64,
+}
+
+impl DiskStats {
+    /// Mean pending-queue depth observed at dispatch (0 for an idle drive).
+    pub fn mean_queue_depth(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.queue_depth_sum as f64 / self.requests as f64
+        }
+    }
 }
 
 /// Sequential-streak state: the media finished reading/writing up to
@@ -120,6 +146,13 @@ impl DiskModel {
     /// Cylinder the arm is currently on.
     pub fn current_cylinder(&self) -> u32 {
         self.current_cylinder
+    }
+
+    /// Records the pending-queue depth observed when a request was picked
+    /// for service (called by the drive server at each dispatch).
+    pub fn record_queue_depth(&mut self, depth: u64) {
+        self.stats.queue_depth_sum += depth;
+        self.stats.max_queue_depth = self.stats.max_queue_depth.max(depth);
     }
 
     /// Computes the service time of `req` arriving at the drive at `now`,

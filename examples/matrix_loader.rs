@@ -37,10 +37,10 @@ fn main() {
         let shape =
             disk_directed_io::ArrayShape::default_for(pattern, config.file_bytes / record_bytes);
         let tc = file
-            .read_distributed(name, record_bytes, Method::TraditionalCaching, 11)
+            .read_distributed(name, record_bytes, Method::TC, 11)
             .expect("valid read");
         let ddio = file
-            .read_distributed(name, record_bytes, Method::DiskDirectedSorted, 11)
+            .read_distributed(name, record_bytes, Method::DDIO_SORTED, 11)
             .expect("valid read");
         println!(
             "{:<10}{:>14.2}{:>14.2}{:>9.1}x   (shape {:?})",

@@ -44,7 +44,7 @@ fn main() {
         "method", "read MiB/s", "write MiB/s", "I/O time (all passes)"
     );
 
-    for method in [Method::TraditionalCaching, Method::DiskDirectedSorted] {
+    for method in [Method::TC, Method::DDIO_SORTED] {
         let mut read_rate = 0.0;
         let mut write_rate = 0.0;
         let mut total_io = ddio_sim::SimDuration::ZERO;

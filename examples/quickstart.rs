@@ -31,7 +31,7 @@ fn main() {
     let file = CollectiveFile::new(config);
 
     // Read a BLOCK-distributed matrix with both file systems.
-    for method in [Method::TraditionalCaching, Method::DiskDirectedSorted] {
+    for method in [Method::TC, Method::DDIO_SORTED] {
         let outcome = file
             .read_distributed("rb", 8192, method, 1)
             .expect("valid collective read");

@@ -39,7 +39,7 @@ fn main() {
                     layout,
                     ..params.base.clone()
                 },
-                method: Method::DiskDirectedSorted,
+                method: Method::DDIO_SORTED,
                 pattern: AccessPattern::parse("rc").expect("known pattern"),
                 record_bytes,
                 axes: vec![Axis::new("record", record_bytes)],

@@ -20,14 +20,8 @@ fn main() {
             "Layout: {} (single IOP, single 10 MB/s bus), DDIO with presort, pattern rb",
             layout.short_name()
         );
-        let points = run_sensitivity_sweep(
-            &base,
-            Vary::Disks,
-            &disks,
-            &[Method::DiskDirectedSorted],
-            2,
-            7,
-        );
+        let points =
+            run_sensitivity_sweep(&base, Vary::Disks, &disks, &[Method::DDIO_SORTED], 2, 7);
         println!("{:<8}{:>14}{:>14}", "disks", "rb MiB/s", "hw limit");
         for &d in &disks {
             if let Some(p) = points.iter().find(|p| p.value == d && p.pattern == "rb") {

@@ -26,7 +26,7 @@
 //! };
 //! let file = CollectiveFile::new(config);
 //! let outcome = file
-//!     .read_distributed("rbb", 8192, Method::DiskDirectedSorted, 7)
+//!     .read_distributed("rbb", 8192, Method::DDIO_SORTED, 7)
 //!     .unwrap();
 //! assert!(outcome.throughput_mibs > 0.0);
 //! ```
@@ -42,6 +42,6 @@ pub use ddio_sim as sim;
 
 pub use ddio_core::{
     run_transfer, AccessKind, AccessPattern, ArrayShape, Chunk, CollectiveError, CollectiveFile,
-    CostModel, Dist, FileLayout, LayoutPolicy, MachineConfig, Method, PatternInstance,
-    TransferOutcome,
+    CostModel, Dist, FileLayout, LayoutPolicy, MachineConfig, Method, PatternInstance, SchedPolicy,
+    SchedSet, TransferOutcome,
 };

@@ -47,22 +47,22 @@ fn check_all_patterns(method: Method, layout: LayoutPolicy, record_bytes: u64) {
 
 #[test]
 fn traditional_caching_places_every_byte_contiguous_layout() {
-    check_all_patterns(Method::TraditionalCaching, LayoutPolicy::Contiguous, 8192);
+    check_all_patterns(Method::TC, LayoutPolicy::Contiguous, 8192);
 }
 
 #[test]
 fn traditional_caching_places_every_byte_random_layout() {
-    check_all_patterns(Method::TraditionalCaching, LayoutPolicy::RandomBlocks, 8192);
+    check_all_patterns(Method::TC, LayoutPolicy::RandomBlocks, 8192);
 }
 
 #[test]
 fn disk_directed_places_every_byte_contiguous_layout() {
-    check_all_patterns(Method::DiskDirectedSorted, LayoutPolicy::Contiguous, 8192);
+    check_all_patterns(Method::DDIO_SORTED, LayoutPolicy::Contiguous, 8192);
 }
 
 #[test]
 fn disk_directed_places_every_byte_random_layout() {
-    check_all_patterns(Method::DiskDirected, LayoutPolicy::RandomBlocks, 8192);
+    check_all_patterns(Method::DDIO, LayoutPolicy::RandomBlocks, 8192);
 }
 
 #[test]
@@ -75,7 +75,7 @@ fn small_records_are_placed_correctly_too() {
     };
     for name in ["rc", "rcc", "rbc", "wc", "wcc"] {
         let pattern = AccessPattern::parse(name).unwrap();
-        for method in [Method::TraditionalCaching, Method::DiskDirectedSorted] {
+        for method in [Method::TC, Method::DDIO_SORTED] {
             let outcome = run_transfer(&config, method, pattern, 64, 7);
             assert!(
                 outcome.verify.as_ref().unwrap().complete,
@@ -101,7 +101,7 @@ fn uneven_division_of_blocks_and_cps_still_verifies() {
     };
     for name in ["rb", "rc", "rcn", "wb", "wcc"] {
         let pattern = AccessPattern::parse(name).unwrap();
-        for method in [Method::TraditionalCaching, Method::DiskDirectedSorted] {
+        for method in [Method::TC, Method::DDIO_SORTED] {
             let outcome = run_transfer(&config, method, pattern, 1024, 99);
             assert!(
                 outcome.verify.as_ref().unwrap().complete,

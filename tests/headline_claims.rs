@@ -19,8 +19,8 @@ fn paper_config(layout: LayoutPolicy) -> MachineConfig {
 fn ddio_is_never_substantially_slower_than_tc() {
     let config = paper_config(LayoutPolicy::Contiguous);
     for pattern in AccessPattern::paper_all_patterns() {
-        let tc = run_transfer(&config, Method::TraditionalCaching, pattern, 8192, 5);
-        let ddio = run_transfer(&config, Method::DiskDirectedSorted, pattern, 8192, 5);
+        let tc = run_transfer(&config, Method::TC, pattern, 8192, 5);
+        let ddio = run_transfer(&config, Method::DDIO_SORTED, pattern, 8192, 5);
         assert!(
             ddio.throughput_mibs >= 0.95 * tc.throughput_mibs,
             "pattern {}: DDIO {:.2} MiB/s vs TC {:.2} MiB/s",
@@ -39,7 +39,7 @@ fn ddio_approaches_peak_disk_bandwidth_on_contiguous_layout() {
     let peak_mibs = config.peak_disk_bandwidth() / (1024.0 * 1024.0);
     for name in ["rb", "rcc", "wb"] {
         let pattern = AccessPattern::parse(name).unwrap();
-        let outcome = run_transfer(&config, Method::DiskDirectedSorted, pattern, 8192, 3);
+        let outcome = run_transfer(&config, Method::DDIO_SORTED, pattern, 8192, 3);
         assert!(
             outcome.throughput_mibs > 0.75 * peak_mibs,
             "{name}: {:.2} MiB/s is below 75% of the {peak_mibs:.1} MiB/s peak",
@@ -59,8 +59,8 @@ fn ddio_approaches_peak_disk_bandwidth_on_contiguous_layout() {
 fn presorting_improves_random_layout_throughput() {
     let config = paper_config(LayoutPolicy::RandomBlocks);
     let pattern = AccessPattern::parse("rb").unwrap();
-    let unsorted = run_transfer(&config, Method::DiskDirected, pattern, 8192, 11);
-    let sorted = run_transfer(&config, Method::DiskDirectedSorted, pattern, 8192, 11);
+    let unsorted = run_transfer(&config, Method::DDIO, pattern, 8192, 11);
+    let sorted = run_transfer(&config, Method::DDIO_SORTED, pattern, 8192, 11);
     let gain = sorted.throughput_mibs / unsorted.throughput_mibs;
     assert!(
         (1.2..2.5).contains(&gain),
@@ -77,14 +77,14 @@ fn contiguous_layout_is_several_times_faster_than_random() {
     let pattern = AccessPattern::parse("rb").unwrap();
     let contiguous = run_transfer(
         &paper_config(LayoutPolicy::Contiguous),
-        Method::DiskDirectedSorted,
+        Method::DDIO_SORTED,
         pattern,
         8192,
         13,
     );
     let random = run_transfer(
         &paper_config(LayoutPolicy::RandomBlocks),
-        Method::DiskDirectedSorted,
+        Method::DDIO_SORTED,
         pattern,
         8192,
         13,
@@ -107,8 +107,8 @@ fn tc_worst_case_is_several_times_slower_than_ddio() {
     let mut worst_ratio: f64 = 0.0;
     for name in ["rb", "rcn", "wb"] {
         let pattern = AccessPattern::parse(name).unwrap();
-        let tc = run_transfer(&config, Method::TraditionalCaching, pattern, 8192, 17);
-        let ddio = run_transfer(&config, Method::DiskDirectedSorted, pattern, 8192, 17);
+        let tc = run_transfer(&config, Method::TC, pattern, 8192, 17);
+        let ddio = run_transfer(&config, Method::DDIO_SORTED, pattern, 8192, 17);
         worst_ratio = worst_ratio.max(ddio.throughput_mibs / tc.throughput_mibs);
     }
     assert!(
@@ -124,7 +124,7 @@ fn ddio_throughput_is_nearly_pattern_independent() {
     let config = paper_config(LayoutPolicy::Contiguous);
     let mut rates = Vec::new();
     for pattern in AccessPattern::paper_read_patterns() {
-        let outcome = run_transfer(&config, Method::DiskDirectedSorted, pattern, 8192, 19);
+        let outcome = run_transfer(&config, Method::DDIO_SORTED, pattern, 8192, 19);
         rates.push(outcome.throughput_mibs);
     }
     let min = rates.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -142,10 +142,10 @@ fn ddio_throughput_is_nearly_pattern_independent() {
 fn transfers_are_deterministic_per_seed() {
     let config = paper_config(LayoutPolicy::RandomBlocks);
     let pattern = AccessPattern::parse("rcb").unwrap();
-    let a = run_transfer(&config, Method::DiskDirectedSorted, pattern, 8192, 555);
-    let b = run_transfer(&config, Method::DiskDirectedSorted, pattern, 8192, 555);
+    let a = run_transfer(&config, Method::DDIO_SORTED, pattern, 8192, 555);
+    let b = run_transfer(&config, Method::DDIO_SORTED, pattern, 8192, 555);
     assert_eq!(a.elapsed, b.elapsed);
     assert_eq!(a.messages, b.messages);
-    let c = run_transfer(&config, Method::DiskDirectedSorted, pattern, 8192, 556);
+    let c = run_transfer(&config, Method::DDIO_SORTED, pattern, 8192, 556);
     assert_ne!(a.elapsed, c.elapsed, "different seeds should differ");
 }

@@ -21,7 +21,7 @@ fn single_bus_saturates_with_many_disks() {
     let pattern = AccessPattern::parse("rb").unwrap();
     let rate = |disks: usize| {
         let cfg = apply_variation(&config, Vary::Disks, disks);
-        run_data_point(&cfg, Method::DiskDirectedSorted, pattern, 8192, 1, 3).mean()
+        run_data_point(&cfg, Method::DDIO_SORTED, pattern, 8192, 1, 3).mean()
     };
     let one = rate(1);
     let four = rate(4);
@@ -50,7 +50,7 @@ fn random_layout_keeps_scaling_with_disks() {
     let pattern = AccessPattern::parse("rb").unwrap();
     let rate = |disks: usize| {
         let cfg = apply_variation(&config, Vary::Disks, disks);
-        run_data_point(&cfg, Method::DiskDirectedSorted, pattern, 8192, 1, 3).mean()
+        run_data_point(&cfg, Method::DDIO_SORTED, pattern, 8192, 1, 3).mean()
     };
     let four = rate(4);
     let sixteen = rate(16);
@@ -68,7 +68,7 @@ fn ddio_is_insensitive_to_cp_count() {
     let mut rates = Vec::new();
     for cps in [2usize, 4, 16] {
         let cfg = apply_variation(&config, Vary::Cps, cps);
-        rates.push(run_data_point(&cfg, Method::DiskDirectedSorted, pattern, 8192, 1, 5).mean());
+        rates.push(run_data_point(&cfg, Method::DDIO_SORTED, pattern, 8192, 1, 5).mean());
     }
     let min = rates.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = rates.iter().cloned().fold(0.0f64, f64::max);
@@ -86,7 +86,7 @@ fn iop_count_moves_the_bottleneck() {
     let pattern = AccessPattern::parse("rb").unwrap();
     let rate = |iops: usize| {
         let cfg = apply_variation(&config, Vary::Iops, iops);
-        run_data_point(&cfg, Method::DiskDirectedSorted, pattern, 8192, 1, 7).mean()
+        run_data_point(&cfg, Method::DDIO_SORTED, pattern, 8192, 1, 7).mean()
     };
     let one = rate(1);
     let two = rate(2);
@@ -111,7 +111,7 @@ fn iop_count_moves_the_bottleneck() {
 fn trial_variation_is_small_on_contiguous_layout() {
     let config = base(LayoutPolicy::Contiguous);
     let pattern = AccessPattern::parse("rbb").unwrap();
-    let dp = run_data_point(&config, Method::DiskDirectedSorted, pattern, 8192, 4, 21);
+    let dp = run_data_point(&config, Method::DDIO_SORTED, pattern, 8192, 4, 21);
     assert!(dp.cv() < 0.05, "cv was {:.3}", dp.cv());
     assert_eq!(dp.trials.len(), 4);
 }
