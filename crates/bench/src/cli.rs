@@ -2,10 +2,11 @@
 //! (or `all`) in parallel, and emit text tables, JSON, or CSV.
 //!
 //! ```text
-//! ddio-bench list
+//! ddio-bench list [--format table|json]
 //! ddio-bench run <scenario>|all [--jobs N] [--format table|json|csv]
 //!                [--out FILE] [--trials N] [--seed N] [--file-mb N]
-//!                [--small-records 0|1]
+//!                [--small-records 0|1] [--sched LIST] [--cache LIST]
+//!                [--cache-bufs N]
 //! ```
 //!
 //! The `DDIO_*` environment variables provide the defaults (see the crate
@@ -16,7 +17,7 @@ use std::io::Write;
 
 use ddio_core::experiment::pool;
 use ddio_core::experiment::scenario::{self, Scenario};
-use ddio_core::SchedSet;
+use ddio_core::{CacheSet, SchedSet};
 
 use crate::report::{self, ScenarioRun};
 use crate::Scale;
@@ -48,13 +49,16 @@ pub struct RunCommand {
     /// Scheduling policies the `sched-sweep` scenario runs (all by default;
     /// other scenarios fix their own policies and ignore this).
     pub scheds: SchedSet,
+    /// Cache compositions the `cache-sweep` scenario runs (all by default;
+    /// other scenarios fix their own composition and ignore this).
+    pub caches: CacheSet,
 }
 
 const USAGE: &str = "\
 ddio-bench: unified scenario runner for the disk-directed-I/O reproduction
 
 USAGE:
-    ddio-bench list
+    ddio-bench list [--format table|json]
     ddio-bench run <scenario>|all [OPTIONS]
 
 OPTIONS (run):
@@ -67,9 +71,16 @@ OPTIONS (run):
     --small-records 0|1   run the 8-byte-record half of fig3/fig4
     --sched LIST          comma-separated policies for the sched-sweep
                           scenario: fcfs|sstf|cscan|presort (default: all)
+    --cache LIST          comma-separated cache compositions for the
+                          cache-sweep scenario; each is +-separated policy
+                          names from lru|mru|clock, none|one|strided,
+                          through|onfull|watermark, or `default`
+                          (e.g. `mru,lru+strided`; default: all)
+    --cache-bufs N        TC cache buffers per disk per CP (default:
+                          env DDIO_CACHE_BUFS or 2)
 
 Scenarios (see `ddio-bench list`): table1 fig3 fig4 fig5 fig6 fig7 fig8
-mixed-rw degraded-disk sched-sweep record-cp-cross";
+mixed-rw degraded-disk sched-sweep cache-sweep record-cp-cross";
 
 fn usage_err(message: impl Into<String>) -> String {
     format!("{}\n\n{USAGE}", message.into())
@@ -100,6 +111,8 @@ pub fn parse_run(
     let mut file_mib: Option<u64> = None;
     let mut small_records: Option<bool> = None;
     let mut scheds = SchedSet::all();
+    let mut caches = CacheSet::all();
+    let mut cache_bufs: Option<usize> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -142,6 +155,16 @@ pub fn parse_run(
                 scheds =
                     SchedSet::parse_list(&v).map_err(|e| usage_err(format!("--sched: {e}")))?;
             }
+            "--cache" => {
+                let v = flag_value("--cache")?;
+                caches =
+                    CacheSet::parse_list(&v).map_err(|e| usage_err(format!("--cache: {e}")))?;
+            }
+            "--cache-bufs" => {
+                cache_bufs = Some(
+                    parse_at_least_one("--cache-bufs", &flag_value("--cache-bufs")?)? as usize,
+                );
+            }
             "--small-records" => {
                 let v = flag_value("--small-records")?;
                 small_records = Some(match v.as_str() {
@@ -173,6 +196,7 @@ pub fn parse_run(
             "DDIO_TRIALS" => trials.is_some(),
             "DDIO_SEED" => seed.is_some(),
             "DDIO_SMALL_RECORDS" => small_records.is_some(),
+            "DDIO_CACHE_BUFS" => cache_bufs.is_some(),
             _ => false,
         };
         if shadowed {
@@ -194,6 +218,9 @@ pub fn parse_run(
     if let Some(v) = small_records {
         scale.small_records = v;
     }
+    if let Some(v) = cache_bufs {
+        scale.cache_bufs = v;
+    }
 
     let scenarios = if targets.iter().any(|t| t == "all") {
         scenario::registry()
@@ -214,6 +241,7 @@ pub fn parse_run(
         out,
         scale,
         scheds,
+        caches,
     })
 }
 
@@ -231,6 +259,11 @@ pub fn execute_run(cmd: &RunCommand) -> Result<String, String> {
             // `--sched` narrows the policy sweep; each cell's seed derives
             // from its own identity, so dropping cells never moves numbers.
             scenario_cells.retain(|c| cmd.scheds.contains(c.method.sched()));
+        }
+        if s.name == "cache-sweep" {
+            // Likewise for `--cache`; the cacheless DDIO baseline always
+            // stays so filtered runs keep their comparison point.
+            scenario_cells.retain(|c| c.method.cache().map_or(true, |cfg| cmd.caches.matches(cfg)));
         }
         spans.push(scenario_cells.len());
         cells.extend(scenario_cells);
@@ -265,6 +298,52 @@ pub fn render_list() -> String {
     out
 }
 
+/// The registry listing as one JSON document (`ddio-bench list --format
+/// json`), so CI and scripts can enumerate scenarios without scraping the
+/// table. Schema: `{"scenarios":[{"name","title","description"}...]}`.
+pub fn render_list_json() -> String {
+    let entries = scenario::registry()
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"name\":\"{}\",\"title\":\"{}\",\"description\":\"{}\"}}",
+                report::json_escape(s.name),
+                report::json_escape(s.title),
+                report::json_escape(s.description)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("{{\"scenarios\":[{entries}]}}\n")
+}
+
+/// Parses the arguments of `list`: no flags for the table, or
+/// `--format table|json`.
+fn parse_list_format(args: &[String]) -> Result<Format, String> {
+    let mut format = Format::Table;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| usage_err("--format requires a value"))?;
+                format = match v.as_str() {
+                    "table" => Format::Table,
+                    "json" => Format::Json,
+                    other => {
+                        return Err(usage_err(format!(
+                            "list --format {other:?}: expected table or json"
+                        )))
+                    }
+                };
+            }
+            other => return Err(usage_err(format!("list: unexpected argument {other:?}"))),
+        }
+    }
+    Ok(format)
+}
+
 /// Full CLI entry point; returns the process exit code.
 pub fn main_from_args(args: Vec<String>) -> i32 {
     let Some(command) = args.first() else {
@@ -272,10 +351,20 @@ pub fn main_from_args(args: Vec<String>) -> i32 {
         return 2;
     };
     match command.as_str() {
-        "list" => {
-            print!("{}", render_list());
-            0
-        }
+        "list" => match parse_list_format(&args[1..]) {
+            Ok(Format::Json) => {
+                print!("{}", render_list_json());
+                0
+            }
+            Ok(_) => {
+                print!("{}", render_list());
+                0
+            }
+            Err(e) => {
+                eprintln!("ddio-bench: {e}");
+                2
+            }
+        },
         "run" => {
             let cmd = match parse_run(&args[1..], |var| std::env::var(var).ok()) {
                 Ok(cmd) => cmd,
@@ -397,6 +486,63 @@ mod tests {
 
         let err = parse_run(&args(&["sched-sweep", "--sched", "elevator"]), smoke_env).unwrap_err();
         assert!(err.contains("unknown scheduling policy"), "{err}");
+    }
+
+    #[test]
+    fn cache_flag_filters_the_sweep() {
+        use ddio_core::CacheConfig;
+        let cmd = parse_run(
+            &args(&["cache-sweep", "--cache", "mru,default", "--jobs", "2"]),
+            smoke_env,
+        )
+        .unwrap();
+        assert!(cmd.caches.matches(CacheConfig::parse("mru").unwrap()));
+        assert!(cmd.caches.matches(CacheConfig::DEFAULT));
+        assert!(!cmd.caches.matches(CacheConfig::parse("clock").unwrap()));
+        let out = execute_run(&cmd).unwrap();
+        assert!(out.contains("TC[mru+one+onfull]"));
+        assert!(out.contains("TC"), "default composition kept");
+        assert!(
+            out.contains("DDIO(sort)"),
+            "the baseline survives the filter:\n{out}"
+        );
+        assert!(!out.contains("clock"), "filtered composition ran:\n{out}");
+
+        let err = parse_run(&args(&["cache-sweep", "--cache", "arc"]), smoke_env).unwrap_err();
+        assert!(err.contains("unknown cache policy"), "{err}");
+    }
+
+    #[test]
+    fn cache_bufs_flag_resizes_the_cache() {
+        let cmd = parse_run(&args(&["fig5", "--cache-bufs", "4"]), smoke_env).unwrap();
+        assert_eq!(cmd.scale.cache_bufs, 4);
+        assert_eq!(cmd.scale.base_config().cache.buffers_per_disk_per_cp, 4);
+        assert!(parse_run(&args(&["fig5", "--cache-bufs", "0"]), smoke_env)
+            .unwrap_err()
+            .contains("--cache-bufs"));
+    }
+
+    #[test]
+    fn list_json_is_valid_and_complete() {
+        let json = render_list_json();
+        assert!(
+            crate::report::json_is_valid(json.trim()),
+            "bad JSON:\n{json}"
+        );
+        for s in scenario::registry() {
+            assert!(
+                json.contains(&format!("\"{}\"", s.name)),
+                "missing {}",
+                s.name
+            );
+        }
+        assert_eq!(parse_list_format(&args(&[])).unwrap(), Format::Table);
+        assert_eq!(
+            parse_list_format(&args(&["--format", "json"])).unwrap(),
+            Format::Json
+        );
+        assert!(parse_list_format(&args(&["--format", "csv"])).is_err());
+        assert!(parse_list_format(&args(&["bogus"])).is_err());
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! | `DDIO_TRIALS`     | `5`     | independent trials per data point (≥ 1)   |
 //! | `DDIO_SMALL_RECORDS` | `1`  | also run the 8-byte-record sweep (0 = skip) |
 //! | `DDIO_SEED`       | `1994`  | base random seed                          |
+//! | `DDIO_CACHE_BUFS` | `2`     | TC cache buffers per disk per CP (≥ 1)    |
 //!
 //! Zero or unparseable values are rejected at startup with a clear error
 //! (see [`Scale::from_env`]) instead of panicking mid-run.
@@ -44,6 +45,9 @@ pub struct Scale {
     pub small_records: bool,
     /// Base random seed.
     pub seed: u64,
+    /// Traditional-caching cache buffers per disk per CP (the paper's
+    /// double-buffering default is 2).
+    pub cache_bufs: usize,
 }
 
 impl Default for Scale {
@@ -53,6 +57,7 @@ impl Default for Scale {
             trials: 5,
             small_records: true,
             seed: 1994,
+            cache_bufs: 2,
         }
     }
 }
@@ -135,6 +140,14 @@ impl Scale {
         )?;
         s.small_records = small != 0;
         parse_knob("DDIO_SEED", lookup("DDIO_SEED"), 0, &mut s.seed)?;
+        let mut cache_bufs = s.cache_bufs as u64;
+        parse_knob(
+            "DDIO_CACHE_BUFS",
+            lookup("DDIO_CACHE_BUFS"),
+            1,
+            &mut cache_bufs,
+        )?;
+        s.cache_bufs = cache_bufs as usize;
         Ok(s)
     }
 
@@ -147,10 +160,14 @@ impl Scale {
         })
     }
 
-    /// The Table 1 machine with this scale's file size.
+    /// The Table 1 machine with this scale's file size and cache sizing.
     pub fn base_config(&self) -> MachineConfig {
         MachineConfig {
             file_bytes: self.file_mib * 1024 * 1024,
+            cache: ddio_core::CacheParams {
+                buffers_per_disk_per_cp: self.cache_bufs,
+                ..ddio_core::CacheParams::default()
+            },
             ..MachineConfig::default()
         }
     }
@@ -224,12 +241,21 @@ mod tests {
             ("DDIO_TRIALS", "3"),
             ("DDIO_SMALL_RECORDS", "0"),
             ("DDIO_SEED", "42"),
+            ("DDIO_CACHE_BUFS", "4"),
         ]))
         .unwrap();
         assert_eq!(s.file_mib, 2);
         assert_eq!(s.trials, 3);
         assert!(!s.small_records);
         assert_eq!(s.seed, 42);
+        assert_eq!(s.cache_bufs, 4);
+        assert_eq!(s.base_config().cache.buffers_per_disk_per_cp, 4);
+    }
+
+    #[test]
+    fn zero_cache_bufs_is_rejected() {
+        let err = Scale::from_lookup(lookup_of(&[("DDIO_CACHE_BUFS", "0")])).unwrap_err();
+        assert_eq!(err.var, "DDIO_CACHE_BUFS");
     }
 
     #[test]

@@ -18,7 +18,7 @@ pub struct ScenarioRun {
 }
 
 /// Escapes `s` as the contents of a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -81,6 +81,37 @@ fn json_drives(r: &CellResult) -> String {
         .join(",")
 }
 
+/// The per-IOP cache counters of a cell's last trial (empty for cacheless
+/// methods like disk-directed I/O), one object per IOP that ran a cache.
+fn json_cache(r: &CellResult) -> String {
+    r.point
+        .last_outcome
+        .cache_stats
+        .iter()
+        .enumerate()
+        .filter_map(|(iop, stats)| {
+            stats.map(|s| {
+                format!(
+                    "{{\"iop\":{iop},\"hits\":{},\"misses\":{},\"hit_rate\":{},\
+                     \"prefetch_issued\":{},\"prefetch_used\":{},\"prefetch_wasted\":{},\
+                     \"evictions\":{},\"dirty_evictions\":{},\"overflows\":{},\"flushes\":{}}}",
+                    s.hits,
+                    s.misses,
+                    json_f64(s.hit_rate()),
+                    s.prefetches,
+                    s.prefetch_used,
+                    s.prefetch_wasted,
+                    s.evictions,
+                    s.dirty_evictions,
+                    s.overflows,
+                    s.flushes
+                )
+            })
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
 fn json_cell(r: &CellResult) -> String {
     let axes = r
         .axes
@@ -101,13 +132,19 @@ fn json_cell(r: &CellResult) -> String {
         .map(|t| json_f64(*t))
         .collect::<Vec<_>>()
         .join(",");
+    let cache_policies = match r.point.method.cache() {
+        Some(cfg) => format!("\"{}\"", json_escape(&cfg.label())),
+        None => "null".to_owned(),
+    };
     format!(
-        "{{\"pattern\":\"{}\",\"method\":\"{}\",\"sched\":\"{}\",\"record_bytes\":{},\
+        "{{\"pattern\":\"{}\",\"method\":\"{}\",\"sched\":\"{}\",\"cache_policies\":{},\
+         \"record_bytes\":{},\
          \"layout\":\"{}\",\"axes\":[{}],\"seed\":{},\"trials\":[{}],\"summary\":{},\
-         \"hardware_limit_mibs\":{},\"drives\":[{}]}}",
+         \"hardware_limit_mibs\":{},\"drives\":[{}],\"cache\":[{}]}}",
         json_escape(&r.point.pattern),
         json_escape(&r.point.method.label()),
         r.point.method.sched().name(),
+        cache_policies,
         r.point.record_bytes,
         r.point.layout.short_name(),
         axes,
@@ -115,16 +152,19 @@ fn json_cell(r: &CellResult) -> String {
         trials,
         json_summary(&r.point.summary),
         json_f64(r.hardware_limit_mibs),
-        json_drives(r)
+        json_drives(r),
+        json_cache(r)
     )
 }
 
 /// Renders a whole run — scale header plus every scenario's cells and pooled
 /// aggregate — as one JSON document. The schema is stable: scripts may rely
 /// on `scale`, `scenarios[].name`, `scenarios[].cells[]`, and the cell
-/// fields emitted by this version, including each cell's `sched` policy name
-/// and the per-drive `drives[]` queue-depth/utilization counters from its
-/// last trial.
+/// fields emitted by this version, including each cell's `sched` policy
+/// name, its `cache_policies` composition label (`null` for cacheless
+/// methods), the per-drive `drives[]` queue-depth/utilization counters from
+/// its last trial, and the per-IOP `cache[]` hit/prefetch/flush counters
+/// (empty for cacheless methods).
 pub fn render_json(scale: &Scale, runs: &[ScenarioRun]) -> String {
     let mut out = String::from("{");
     out.push_str(&format!(
@@ -433,6 +473,7 @@ mod tests {
             trials: 1,
             small_records: false,
             seed: 7,
+            ..Scale::default()
         };
         let json = render_json(&scale, &[run]);
         assert!(json_is_valid(&json), "invalid JSON:\n{json}");

@@ -1,4 +1,5 @@
-//! The per-IOP block cache used by the traditional-caching file system.
+//! The per-IOP block cache used by the traditional-caching file system —
+//! now a policy-parameterized subsystem rather than a single design point.
 //!
 //! From §4 of the paper: "Each IOP managed a cache that was large enough to
 //! double-buffer an independent stream of requests from each CP to each disk.
@@ -6,22 +7,414 @@
 //! after each read request, and flushed dirty buffers to disk when they were
 //! full (i.e., after n bytes had been written to an n-byte buffer)."
 //!
+//! That sentence fixes three independent design choices — replacement,
+//! prefetch, and write-back — which this module splits into three pluggable
+//! policies, mirroring the `ddio_disk::sched` subsystem:
+//!
+//! * [`ReplacementPolicy`] / [`Replacer`]: which resident block to evict
+//!   (LRU, MRU, or a clock/second-chance sweep). Pinned and in-flight
+//!   entries are never eligible under any policy.
+//! * [`PrefetchPolicy`] / [`Prefetcher`]: which blocks to read ahead after a
+//!   demand read (nothing, the paper's one-block-ahead, or a strided
+//!   prefetcher that infers the per-disk stride of the request stream and
+//!   runs several blocks ahead of it).
+//! * [`WritePolicy`]: when dirty data goes back to disk (synchronous
+//!   write-through, the paper's flush-when-full write-behind, or a
+//!   high-watermark sweep that flushes only under cache pressure).
+//!
+//! A [`CacheConfig`] names one composition of the three; the paper's design
+//! is [`CacheConfig::DEFAULT`] (`lru+one+onfull`), and the default
+//! composition is behavior-identical (bit-exact in simulation) to the
+//! pre-refactor hardwired cache.
+//!
 //! The cache here stores block *state*, not the data itself (the simulation
 //! carries descriptors, never user bytes). Concurrency is cooperative: an
 //! entry being fetched is in the `Filling` state and carries an event that
 //! other interested request threads wait on.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 use ddio_sim::sync::Event;
+
+/// The replacement policy: which unpinned resident block makes room.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReplacementPolicy {
+    /// Least recently used — the paper's choice.
+    #[default]
+    Lru,
+    /// Most recently used: evict the block touched last. Counterintuitive
+    /// for general workloads but optimal for single-pass streams larger than
+    /// the cache, where LRU evicts exactly the block about to be re-read.
+    Mru,
+    /// Clock (second chance): a circular sweep over the entries in insertion
+    /// order; a referenced entry gets its bit cleared and one more lap, the
+    /// first unreferenced entry is the victim. An O(1)-amortized LRU
+    /// approximation, as most real file systems implement.
+    Clock,
+}
+
+impl ReplacementPolicy {
+    /// Every policy, in a stable order (used by sweeps and CLI listings).
+    pub const ALL: [ReplacementPolicy; 3] = [
+        ReplacementPolicy::Lru,
+        ReplacementPolicy::Mru,
+        ReplacementPolicy::Clock,
+    ];
+
+    /// The policy's lower-case name as used by `--cache` and labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplacementPolicy::Lru => "lru",
+            ReplacementPolicy::Mru => "mru",
+            ReplacementPolicy::Clock => "clock",
+        }
+    }
+
+    /// Parses a policy name (the inverse of [`ReplacementPolicy::name`]).
+    pub fn parse(s: &str) -> Option<ReplacementPolicy> {
+        ReplacementPolicy::ALL.into_iter().find(|p| p.name() == s)
+    }
+
+    /// Builds the replacer implementing this policy.
+    pub fn replacer(self) -> Box<dyn Replacer> {
+        match self {
+            ReplacementPolicy::Lru => Box::new(RecencyReplacer { mru: false }),
+            ReplacementPolicy::Mru => Box::new(RecencyReplacer { mru: true }),
+            ReplacementPolicy::Clock => Box::new(ClockReplacer {
+                ring: Vec::new(),
+                hand: 0,
+                referenced: HashSet::new(),
+            }),
+        }
+    }
+}
+
+impl std::fmt::Display for ReplacementPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The prefetch policy: what to read ahead after each demand read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PrefetchPolicy {
+    /// No prefetching.
+    None,
+    /// One block ahead on the same disk — the paper's choice.
+    #[default]
+    OneAhead,
+    /// Infer each disk stream's stride from consecutive demand reads and,
+    /// once the stride repeats, prefetch
+    /// [`StridedPrefetcher::DEPTH`] blocks ahead along it.
+    Strided,
+}
+
+impl PrefetchPolicy {
+    /// Every policy, in a stable order.
+    pub const ALL: [PrefetchPolicy; 3] = [
+        PrefetchPolicy::None,
+        PrefetchPolicy::OneAhead,
+        PrefetchPolicy::Strided,
+    ];
+
+    /// The policy's lower-case name as used by `--cache` and labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            PrefetchPolicy::None => "none",
+            PrefetchPolicy::OneAhead => "one",
+            PrefetchPolicy::Strided => "strided",
+        }
+    }
+
+    /// Parses a policy name (the inverse of [`PrefetchPolicy::name`]).
+    pub fn parse(s: &str) -> Option<PrefetchPolicy> {
+        PrefetchPolicy::ALL.into_iter().find(|p| p.name() == s)
+    }
+
+    /// Builds the prefetcher implementing this policy.
+    pub fn prefetcher(self) -> Box<dyn Prefetcher> {
+        match self {
+            PrefetchPolicy::None => Box::new(NoPrefetcher),
+            PrefetchPolicy::OneAhead => Box::new(OneAheadPrefetcher),
+            PrefetchPolicy::Strided => Box::new(StridedPrefetcher {
+                last: HashMap::new(),
+            }),
+        }
+    }
+}
+
+impl std::fmt::Display for PrefetchPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The write-back policy: when dirty cache data is flushed to disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WritePolicy {
+    /// Synchronous write-through: every write request's data goes to disk
+    /// before the reply. No write-behind overlap, but nothing is ever lost
+    /// to a late flush.
+    Through,
+    /// Flush a block (in the background) once every byte of it has been
+    /// written — the paper's write-behind.
+    #[default]
+    FlushOnFull,
+    /// Let dirty blocks accumulate and flush them (lowest block first, in
+    /// the background) only when more than
+    /// [`WritePolicy::high_watermark`] of the cache is dirty, stopping at
+    /// the low watermark — batch write-back under cache pressure.
+    Watermark,
+}
+
+/// What the write policy wants done after a write request is absorbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteAction {
+    /// Keep the data cached; nothing to flush yet.
+    None,
+    /// Flush the block that was just written.
+    FlushBlock,
+    /// Start a sweep flushing dirty blocks until the low watermark.
+    FlushDirty,
+}
+
+impl WritePolicy {
+    /// Every policy, in a stable order.
+    pub const ALL: [WritePolicy; 3] = [
+        WritePolicy::Through,
+        WritePolicy::FlushOnFull,
+        WritePolicy::Watermark,
+    ];
+
+    /// The policy's lower-case name as used by `--cache` and labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            WritePolicy::Through => "through",
+            WritePolicy::FlushOnFull => "onfull",
+            WritePolicy::Watermark => "watermark",
+        }
+    }
+
+    /// Parses a policy name (the inverse of [`WritePolicy::name`]).
+    pub fn parse(s: &str) -> Option<WritePolicy> {
+        WritePolicy::ALL.into_iter().find(|p| p.name() == s)
+    }
+
+    /// Dirty-block count at which [`WritePolicy::Watermark`] starts a flush
+    /// sweep: three quarters of the capacity (at least one).
+    pub fn high_watermark(capacity: usize) -> usize {
+        (capacity * 3 / 4).max(1)
+    }
+
+    /// Dirty-block count at which a watermark sweep stops: half the
+    /// capacity.
+    pub fn low_watermark(capacity: usize) -> usize {
+        capacity / 2
+    }
+
+    /// Decides what to do after a write left `written` of a block's `valid`
+    /// bytes dirty, with `dirty_blocks` dirty blocks in a `capacity`-block
+    /// cache.
+    pub fn on_write(
+        self,
+        written: u64,
+        valid: u64,
+        dirty_blocks: usize,
+        capacity: usize,
+    ) -> WriteAction {
+        match self {
+            WritePolicy::Through => WriteAction::FlushBlock,
+            WritePolicy::FlushOnFull => {
+                if written >= valid {
+                    WriteAction::FlushBlock
+                } else {
+                    WriteAction::None
+                }
+            }
+            WritePolicy::Watermark => {
+                if dirty_blocks >= WritePolicy::high_watermark(capacity) {
+                    WriteAction::FlushDirty
+                } else {
+                    WriteAction::None
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for WritePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One composition of the three cache policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CacheConfig {
+    /// Which block makes room when the cache is full.
+    pub replacement: ReplacementPolicy,
+    /// What is read ahead after each demand read.
+    pub prefetch: PrefetchPolicy,
+    /// When dirty data is written back.
+    pub write: WritePolicy,
+}
+
+impl CacheConfig {
+    /// The paper's composition: LRU replacement, one-block-ahead prefetch,
+    /// flush-on-full write-behind. [`crate::Method::TC`] runs this; its
+    /// label (and therefore every derived cell seed and golden number) is
+    /// unchanged from the pre-refactor cache.
+    pub const DEFAULT: CacheConfig = CacheConfig {
+        replacement: ReplacementPolicy::Lru,
+        prefetch: PrefetchPolicy::OneAhead,
+        write: WritePolicy::FlushOnFull,
+    };
+
+    /// The composition's label, e.g. `"lru+one+onfull"`; used in method
+    /// labels (for non-default compositions), reports, and `--cache`.
+    pub fn label(self) -> String {
+        format!("{}+{}+{}", self.replacement, self.prefetch, self.write)
+    }
+
+    /// Parses a `+`-separated composition. Each part names a replacement,
+    /// prefetch, or write policy (`"mru+strided"`); unnamed dimensions keep
+    /// their defaults, so `"mru"` is MRU with the default prefetch and
+    /// write-back. `"default"` is the paper's composition.
+    pub fn parse(s: &str) -> Result<CacheConfig, String> {
+        let filter = CacheFilter::parse(s)?;
+        Ok(CacheConfig {
+            replacement: filter.replacement.unwrap_or_default(),
+            prefetch: filter.prefetch.unwrap_or_default(),
+            write: filter.write.unwrap_or_default(),
+        })
+    }
+}
+
+impl std::fmt::Display for CacheConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// A partial cache-composition pattern: each dimension is either pinned to
+/// one policy or left as a wildcard. Parsed from one element of `--cache`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheFilter {
+    /// Required replacement policy, if any.
+    pub replacement: Option<ReplacementPolicy>,
+    /// Required prefetch policy, if any.
+    pub prefetch: Option<PrefetchPolicy>,
+    /// Required write policy, if any.
+    pub write: Option<WritePolicy>,
+}
+
+impl CacheFilter {
+    /// Parses a `+`-separated list of policy names; `"default"` pins all
+    /// three dimensions to the paper's composition. Pinning the same
+    /// dimension twice (`"lru+mru"`, `"default+clock"`) is rejected — a
+    /// union of alternatives is spelled with commas at the
+    /// [`CacheSet`] level, so a doubled dimension is always a mistake.
+    pub fn parse(s: &str) -> Result<CacheFilter, String> {
+        fn pin<T>(
+            slot: &mut Option<T>,
+            value: T,
+            dimension: &str,
+            part: &str,
+        ) -> Result<(), String> {
+            if slot.is_some() {
+                return Err(format!(
+                    "{part:?} would pin the {dimension} policy twice in one composition \
+                     (use a comma for a union of alternatives, e.g. `lru,mru`)"
+                ));
+            }
+            *slot = Some(value);
+            Ok(())
+        }
+        let mut f = CacheFilter::default();
+        for part in s.split('+') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            if part == "default" {
+                pin(
+                    &mut f.replacement,
+                    ReplacementPolicy::Lru,
+                    "replacement",
+                    part,
+                )?;
+                pin(&mut f.prefetch, PrefetchPolicy::OneAhead, "prefetch", part)?;
+                pin(&mut f.write, WritePolicy::FlushOnFull, "write", part)?;
+            } else if let Some(p) = ReplacementPolicy::parse(part) {
+                pin(&mut f.replacement, p, "replacement", part)?;
+            } else if let Some(p) = PrefetchPolicy::parse(part) {
+                pin(&mut f.prefetch, p, "prefetch", part)?;
+            } else if let Some(p) = WritePolicy::parse(part) {
+                pin(&mut f.write, p, "write", part)?;
+            } else {
+                return Err(format!(
+                    "unknown cache policy {part:?} (expected lru/mru/clock, \
+                     none/one/strided, through/onfull/watermark, or default)"
+                ));
+            }
+        }
+        Ok(f)
+    }
+
+    /// True if `config` satisfies every pinned dimension.
+    pub fn matches(self, config: CacheConfig) -> bool {
+        self.replacement.map_or(true, |p| p == config.replacement)
+            && self.prefetch.map_or(true, |p| p == config.prefetch)
+            && self.write.map_or(true, |p| p == config.write)
+    }
+}
+
+/// A union of [`CacheFilter`] patterns, parsed from the comma-separated
+/// `--cache` flag (the cache analog of `ddio_disk::SchedSet`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheSet(Vec<CacheFilter>);
+
+impl CacheSet {
+    /// The match-everything set (the `--cache` default).
+    pub fn all() -> CacheSet {
+        CacheSet(vec![CacheFilter::default()])
+    }
+
+    /// Parses a comma-separated list of `+`-separated compositions, e.g.
+    /// `"mru,lru+strided,default"`. A config matches the set if it matches
+    /// any element.
+    pub fn parse_list(s: &str) -> Result<CacheSet, String> {
+        let mut filters = Vec::new();
+        for part in s.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            filters.push(CacheFilter::parse(part)?);
+        }
+        if filters.is_empty() {
+            return Err(
+                "expected a comma-separated list of cache compositions, e.g. \
+                 `mru`, `lru+strided`, or `default`"
+                    .to_owned(),
+            );
+        }
+        Ok(CacheSet(filters))
+    }
+
+    /// True if any filter in the set matches `config`.
+    pub fn matches(&self, config: CacheConfig) -> bool {
+        self.0.iter().any(|f| f.matches(config))
+    }
+}
 
 /// Why an entry is in the cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FillReason {
     /// Fetched because a CP asked for it.
     Demand,
-    /// Fetched by the one-block-ahead prefetcher.
+    /// Fetched by the prefetcher and not yet used by any demand request.
     Prefetch,
     /// Created to receive incoming write data (no disk read needed).
     WriteAllocate,
@@ -50,9 +443,11 @@ pub struct CacheEntry {
     /// Number of request threads currently using the entry (pinned entries
     /// are never evicted).
     pub pins: u32,
-    /// LRU recency stamp (larger = more recent).
+    /// Recency stamp (larger = more recent); the raw material of the
+    /// recency-based replacement policies.
     pub recency: u64,
-    /// Why the block was brought in.
+    /// Why the block was brought in. A prefetched entry flips to `Demand`
+    /// on its first demand hit (counting it as used).
     pub reason: FillReason,
 }
 
@@ -86,6 +481,10 @@ pub struct CacheStats {
     pub misses: u64,
     /// Blocks brought in by the prefetcher.
     pub prefetches: u64,
+    /// Prefetched blocks that a demand request later hit.
+    pub prefetch_used: u64,
+    /// Prefetched blocks evicted before any demand request touched them.
+    pub prefetch_wasted: u64,
     /// Evictions performed.
     pub evictions: u64,
     /// Evictions that had to flush dirty data first.
@@ -93,29 +492,266 @@ pub struct CacheStats {
     /// Times the cache had to exceed its configured capacity because every
     /// entry was pinned or filling.
     pub overflows: u64,
+    /// Dirty-data flushes issued to disk (write-behind, write-through,
+    /// watermark sweeps, eviction flushes, and the end-of-transfer sync).
+    pub flushes: u64,
 }
 
-/// The LRU block cache.
+impl CacheStats {
+    /// Adds `other`'s counters into `self` (used to pool per-IOP stats).
+    pub fn accumulate(&mut self, other: CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.prefetches += other.prefetches;
+        self.prefetch_used += other.prefetch_used;
+        self.prefetch_wasted += other.prefetch_wasted;
+        self.evictions += other.evictions;
+        self.dirty_evictions += other.dirty_evictions;
+        self.overflows += other.overflows;
+        self.flushes += other.flushes;
+    }
+
+    /// Hit fraction over all lookups (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+/// A victim candidate handed to a [`Replacer`]: an unpinned, resident block
+/// and its recency stamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VictimCandidate {
+    /// The candidate block.
+    pub block: u64,
+    /// Its recency stamp (larger = touched more recently).
+    pub recency: u64,
+}
+
+/// The replacement half of the cache: notified of every insert, hit, and
+/// removal, and asked to pick a victim among the evictable entries when the
+/// cache is full.
+pub trait Replacer {
+    /// The policy this replacer implements.
+    fn policy(&self) -> ReplacementPolicy;
+
+    /// A new entry was inserted.
+    fn on_insert(&mut self, block: u64);
+
+    /// An existing entry was hit by a lookup.
+    fn on_hit(&mut self, block: u64);
+
+    /// An entry left the cache (evicted or removed).
+    fn on_remove(&mut self, block: u64);
+
+    /// Picks the victim among `candidates` (every unpinned resident entry),
+    /// or `None` if the slice is empty. Recency stamps are unique, so the
+    /// recency-based policies are deterministic regardless of candidate
+    /// order.
+    fn pick_victim(&mut self, candidates: &[VictimCandidate]) -> Option<u64>;
+}
+
+/// LRU and MRU: pick by recency stamp (min for LRU, max for MRU). Stateless —
+/// the cache's own recency stamps carry all the information.
+struct RecencyReplacer {
+    mru: bool,
+}
+
+impl Replacer for RecencyReplacer {
+    fn policy(&self) -> ReplacementPolicy {
+        if self.mru {
+            ReplacementPolicy::Mru
+        } else {
+            ReplacementPolicy::Lru
+        }
+    }
+
+    fn on_insert(&mut self, _block: u64) {}
+    fn on_hit(&mut self, _block: u64) {}
+    fn on_remove(&mut self, _block: u64) {}
+
+    fn pick_victim(&mut self, candidates: &[VictimCandidate]) -> Option<u64> {
+        let pick = if self.mru {
+            candidates.iter().max_by_key(|c| c.recency)
+        } else {
+            candidates.iter().min_by_key(|c| c.recency)
+        };
+        pick.map(|c| c.block)
+    }
+}
+
+/// Clock / second chance: a hand sweeps the entries in insertion order;
+/// entries referenced since the last sweep get one more lap.
+struct ClockReplacer {
+    ring: Vec<u64>,
+    hand: usize,
+    referenced: HashSet<u64>,
+}
+
+impl Replacer for ClockReplacer {
+    fn policy(&self) -> ReplacementPolicy {
+        ReplacementPolicy::Clock
+    }
+
+    fn on_insert(&mut self, block: u64) {
+        self.ring.push(block);
+    }
+
+    fn on_hit(&mut self, block: u64) {
+        self.referenced.insert(block);
+    }
+
+    fn on_remove(&mut self, block: u64) {
+        self.referenced.remove(&block);
+        if let Some(idx) = self.ring.iter().position(|&b| b == block) {
+            self.ring.remove(idx);
+            if idx < self.hand {
+                self.hand -= 1;
+            }
+            if self.ring.is_empty() {
+                self.hand = 0;
+            } else {
+                self.hand %= self.ring.len();
+            }
+        }
+    }
+
+    fn pick_victim(&mut self, candidates: &[VictimCandidate]) -> Option<u64> {
+        if candidates.is_empty() || self.ring.is_empty() {
+            return None;
+        }
+        let evictable: HashSet<u64> = candidates.iter().map(|c| c.block).collect();
+        // At most two laps: the first clears every referenced bit among the
+        // evictable entries, so the second must find a victim.
+        for _ in 0..2 * self.ring.len() {
+            let block = self.ring[self.hand];
+            self.hand = (self.hand + 1) % self.ring.len();
+            if !evictable.contains(&block) {
+                continue;
+            }
+            if self.referenced.remove(&block) {
+                continue; // second chance
+            }
+            return Some(block);
+        }
+        None
+    }
+}
+
+/// The prefetch half of the cache: observes the stream of demand reads and
+/// names the blocks worth reading ahead.
+pub trait Prefetcher {
+    /// The policy this prefetcher implements.
+    fn policy(&self) -> PrefetchPolicy;
+
+    /// Called after each demand read of `block`, which lives on disk stream
+    /// `disk`; `base_stride` is the file's striping interval (consecutive
+    /// blocks on the same disk are `base_stride` apart). Returns candidate
+    /// blocks to prefetch, in issue order; the caller drops candidates that
+    /// are past EOF or already cached.
+    fn plan(&mut self, disk: usize, block: u64, base_stride: u64) -> Vec<u64>;
+}
+
+/// No prefetching.
+struct NoPrefetcher;
+
+impl Prefetcher for NoPrefetcher {
+    fn policy(&self) -> PrefetchPolicy {
+        PrefetchPolicy::None
+    }
+
+    fn plan(&mut self, _disk: usize, _block: u64, _base_stride: u64) -> Vec<u64> {
+        Vec::new()
+    }
+}
+
+/// The paper's one-block-ahead prefetcher: the next file block on the same
+/// disk.
+struct OneAheadPrefetcher;
+
+impl Prefetcher for OneAheadPrefetcher {
+    fn policy(&self) -> PrefetchPolicy {
+        PrefetchPolicy::OneAhead
+    }
+
+    fn plan(&mut self, _disk: usize, block: u64, base_stride: u64) -> Vec<u64> {
+        vec![block + base_stride]
+    }
+}
+
+/// Stride detection per disk stream: once two consecutive demand reads on a
+/// disk repeat the same nonzero stride, prefetch [`Self::DEPTH`] blocks
+/// ahead along it.
+struct StridedPrefetcher {
+    /// Per disk: the last demand block and the stride that led to it.
+    last: HashMap<usize, (u64, i64)>,
+}
+
+impl StridedPrefetcher {
+    /// How many strides ahead to prefetch once the stride is confirmed.
+    pub const DEPTH: i64 = 4;
+}
+
+impl Prefetcher for StridedPrefetcher {
+    fn policy(&self) -> PrefetchPolicy {
+        PrefetchPolicy::Strided
+    }
+
+    fn plan(&mut self, disk: usize, block: u64, _base_stride: u64) -> Vec<u64> {
+        let prev = self.last.get(&disk).copied();
+        let stride = prev.map(|(b, _)| block as i64 - b as i64);
+        self.last.insert(disk, (block, stride.unwrap_or(0)));
+        match (prev, stride) {
+            (Some((_, prev_stride)), Some(stride)) if stride == prev_stride && stride != 0 => (1
+                ..=Self::DEPTH)
+                .filter_map(|k| u64::try_from(block as i64 + stride * k).ok())
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// The policy-composed block cache.
 pub struct BlockCache {
     capacity: usize,
+    config: CacheConfig,
     entries: HashMap<u64, Rc<std::cell::RefCell<CacheEntry>>>,
+    replacer: Box<dyn Replacer>,
     tick: u64,
+    /// Number of entries currently dirty, maintained incrementally so the
+    /// per-write-request [`BlockCache::dirty_count`] is O(1).
+    dirty: usize,
     stats: CacheStats,
 }
 
 impl BlockCache {
     /// Creates a cache holding at most `capacity` blocks (soft limit; see
-    /// [`CacheStats::overflows`]).
+    /// [`CacheStats::overflows`]) under the paper's default policies.
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
+        BlockCache::with_config(capacity, CacheConfig::DEFAULT)
+    }
+
+    /// Creates a cache with an explicit policy composition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_config(capacity: usize, config: CacheConfig) -> Self {
         assert!(capacity > 0, "cache capacity must be non-zero");
         BlockCache {
             capacity,
+            config,
             entries: HashMap::new(),
+            replacer: config.replacement.replacer(),
             tick: 0,
+            dirty: 0,
             stats: CacheStats::default(),
         }
     }
@@ -123,6 +759,11 @@ impl BlockCache {
     /// The configured capacity in blocks.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// The policy composition this cache runs.
+    pub fn config(&self) -> CacheConfig {
+        self.config
     }
 
     /// Number of blocks currently cached (including ones being filled).
@@ -140,6 +781,18 @@ impl BlockCache {
         self.stats
     }
 
+    /// Number of blocks currently holding dirty data (the input of the
+    /// watermark write policy).
+    pub fn dirty_count(&self) -> usize {
+        self.dirty
+    }
+
+    /// Counts one dirty-data flush issued to disk (called by the IOP server
+    /// on every cache-originated write).
+    pub fn note_flush(&mut self) {
+        self.stats.flushes += 1;
+    }
+
     /// Returns true if `block` is resident or being filled (without touching
     /// recency or stats) — used by the prefetcher to avoid duplicate fetches.
     pub fn contains(&self, block: u64) -> bool {
@@ -155,9 +808,14 @@ impl BlockCache {
             Some(entry) => {
                 self.stats.hits += 1;
                 let mut e = entry.borrow_mut();
+                if e.reason == FillReason::Prefetch {
+                    self.stats.prefetch_used += 1;
+                    e.reason = FillReason::Demand;
+                }
                 e.recency = self.tick;
                 e.pins += 1;
                 drop(e);
+                self.replacer.on_hit(block);
                 Lookup::Hit(Rc::clone(entry))
             }
             None => {
@@ -167,8 +825,8 @@ impl BlockCache {
         }
     }
 
-    /// Inserts a new entry in the `Filling` state (pinned), evicting the
-    /// least-recently-used unpinned block if the cache is full. The caller
+    /// Inserts a new entry in the `Filling` state (pinned), evicting a block
+    /// chosen by the replacement policy if the cache is full. The caller
     /// receives the evicted block (if any) and must flush it if dirty, then
     /// perform the disk read, then call [`BlockCache::mark_present`].
     ///
@@ -199,6 +857,7 @@ impl BlockCache {
             reason,
         }));
         self.entries.insert(block, Rc::clone(&entry));
+        self.replacer.on_insert(block);
         (entry, evicted)
     }
 
@@ -226,8 +885,7 @@ impl BlockCache {
     }
 
     /// Records `len` bytes written into `block`; returns the total distinct
-    /// bytes written so far (the caller flushes when this reaches the block's
-    /// valid size).
+    /// bytes written so far (the write policy decides what to flush when).
     pub fn record_write(&mut self, block: u64, len: u64) -> u64 {
         let entry = self
             .entries
@@ -235,27 +893,59 @@ impl BlockCache {
             .unwrap_or_else(|| panic!("record_write on uncached block {block}"));
         let mut e = entry.borrow_mut();
         e.written_bytes += len;
-        e.dirty = true;
+        if !e.dirty {
+            e.dirty = true;
+            self.dirty += 1;
+        }
         e.written_bytes
     }
 
-    /// Marks `block` clean again (after its dirty data reached the disk).
+    /// Marks `block` clean again after *all* of its dirty data reached the
+    /// disk (full-block write-behind, the end-of-transfer sync). For a flush
+    /// of a point-in-time snapshot that concurrent writes may have outrun,
+    /// use [`BlockCache::complete_flush`].
     pub fn mark_clean(&mut self, block: u64) {
         if let Some(entry) = self.entries.get(&block) {
             let mut e = entry.borrow_mut();
+            if e.dirty {
+                self.dirty -= 1;
+            }
             e.dirty = false;
             e.written_bytes = 0;
+        }
+    }
+
+    /// Records that `flushed` bytes of `block` reached the disk: subtracts
+    /// them from the dirty accounting, leaving the block dirty if writes
+    /// landed while the flush was in flight (those bytes still need a later
+    /// flush). No-op if the block was evicted mid-flight (the eviction path
+    /// flushed it again itself).
+    pub fn complete_flush(&mut self, block: u64, flushed: u64) {
+        if let Some(entry) = self.entries.get(&block) {
+            let mut e = entry.borrow_mut();
+            e.written_bytes = e.written_bytes.saturating_sub(flushed);
+            let still_dirty = e.written_bytes > 0;
+            if e.dirty && !still_dirty {
+                self.dirty -= 1;
+            }
+            e.dirty = still_dirty;
         }
     }
 
     /// Removes `block` from the cache entirely (used after write-behind of a
     /// full block, freeing the buffer immediately).
     pub fn remove(&mut self, block: u64) {
-        self.entries.remove(&block);
+        if let Some(entry) = self.entries.remove(&block) {
+            if entry.borrow().dirty {
+                self.dirty -= 1;
+            }
+            self.replacer.on_remove(block);
+        }
     }
 
     /// Blocks that still hold unwritten (dirty) data, with their written byte
-    /// counts. Used by the end-of-transfer sync to flush partial blocks.
+    /// counts, in block order. Used by the end-of-transfer sync and the
+    /// watermark sweep.
     pub fn dirty_blocks(&self) -> Vec<(u64, u64)> {
         let mut v: Vec<(u64, u64)> = self
             .entries
@@ -269,37 +959,45 @@ impl BlockCache {
         v
     }
 
-    /// Evicts the least-recently-used unpinned, non-filling entry if the
-    /// cache is at capacity. Returns what was evicted, or `None` if nothing
-    /// needed to be (or could be) evicted.
+    /// Evicts the replacement policy's victim among the unpinned, non-filling
+    /// entries if the cache is at capacity. Returns what was evicted, or
+    /// `None` if nothing needed to be (or could be) evicted.
     fn make_room(&mut self) -> Option<Evicted> {
         if self.entries.len() < self.capacity {
             return None;
         }
-        let victim = self
+        let candidates: Vec<VictimCandidate> = self
             .entries
             .values()
-            .filter(|e| {
+            .filter_map(|e| {
                 let e = e.borrow();
-                e.pins == 0 && matches!(e.state, EntryState::Present)
+                (e.pins == 0 && matches!(e.state, EntryState::Present)).then_some(VictimCandidate {
+                    block: e.block,
+                    recency: e.recency,
+                })
             })
-            .min_by_key(|e| e.borrow().recency)
-            .map(|e| {
-                let e = e.borrow();
-                Evicted {
+            .collect();
+        match self.replacer.pick_victim(&candidates) {
+            Some(block) => {
+                let entry = self
+                    .entries
+                    .remove(&block)
+                    .unwrap_or_else(|| panic!("replacer picked uncached block {block}"));
+                self.replacer.on_remove(block);
+                let e = entry.borrow();
+                self.stats.evictions += 1;
+                if e.dirty {
+                    self.stats.dirty_evictions += 1;
+                    self.dirty -= 1;
+                }
+                if e.reason == FillReason::Prefetch {
+                    self.stats.prefetch_wasted += 1;
+                }
+                Some(Evicted {
                     block: e.block,
                     dirty: e.dirty,
                     written_bytes: e.written_bytes,
-                }
-            });
-        match victim {
-            Some(v) => {
-                self.entries.remove(&v.block);
-                self.stats.evictions += 1;
-                if v.dirty {
-                    self.stats.dirty_evictions += 1;
-                }
-                Some(v)
+                })
             }
             None => {
                 // Everything is pinned or in flight; allow a temporary
@@ -358,14 +1056,73 @@ mod tests {
     }
 
     #[test]
+    fn mru_eviction_picks_the_newest_unpinned_block() {
+        let mut c = BlockCache::with_config(
+            2,
+            CacheConfig {
+                replacement: ReplacementPolicy::Mru,
+                ..CacheConfig::DEFAULT
+            },
+        );
+        for b in [1u64, 2] {
+            let (_e, _) = c.insert_filling(b, FillReason::Demand);
+            c.mark_present(b);
+            c.unpin(b);
+        }
+        // Touch block 1 so it becomes MRU — and therefore the victim.
+        if let Lookup::Hit(_) = c.lookup(1) {
+            c.unpin(1);
+        }
+        let (_e, evicted) = c.insert_filling(3, FillReason::Demand);
+        assert_eq!(evicted.map(|e| e.block), Some(1));
+        assert!(c.contains(2));
+    }
+
+    #[test]
+    fn clock_gives_referenced_entries_a_second_chance() {
+        let mut c = BlockCache::with_config(
+            3,
+            CacheConfig {
+                replacement: ReplacementPolicy::Clock,
+                ..CacheConfig::DEFAULT
+            },
+        );
+        for b in [1u64, 2, 3] {
+            let (_e, _) = c.insert_filling(b, FillReason::Demand);
+            c.mark_present(b);
+            c.unpin(b);
+        }
+        // Reference block 1; the hand starts at 1, clears its bit, and
+        // evicts 2 (the first unreferenced entry in insertion order).
+        if let Lookup::Hit(_) = c.lookup(1) {
+            c.unpin(1);
+        }
+        let (_e, evicted) = c.insert_filling(4, FillReason::Demand);
+        assert_eq!(evicted.map(|e| e.block), Some(2));
+        assert!(c.contains(1) && c.contains(3));
+        // Next eviction continues the sweep from the hand: 3 is next and
+        // unreferenced.
+        let (_e, evicted) = c.insert_filling(5, FillReason::Demand);
+        assert_eq!(evicted.map(|e| e.block), Some(3));
+    }
+
+    #[test]
     fn pinned_blocks_are_never_evicted() {
-        let mut c = BlockCache::new(1);
-        let (_e, _) = c.insert_filling(1, FillReason::Demand);
-        c.mark_present(1); // still pinned (never unpinned)
-        let (_e2, evicted) = c.insert_filling(2, FillReason::Demand);
-        assert!(evicted.is_none());
-        assert_eq!(c.len(), 2, "cache allowed a temporary overflow");
-        assert_eq!(c.stats().overflows, 1);
+        for policy in ReplacementPolicy::ALL {
+            let mut c = BlockCache::with_config(
+                1,
+                CacheConfig {
+                    replacement: policy,
+                    ..CacheConfig::DEFAULT
+                },
+            );
+            let (_e, _) = c.insert_filling(1, FillReason::Demand);
+            c.mark_present(1); // still pinned (never unpinned)
+            let (_e2, evicted) = c.insert_filling(2, FillReason::Demand);
+            assert!(evicted.is_none(), "{policy} evicted a pinned block");
+            assert_eq!(c.len(), 2, "cache allowed a temporary overflow");
+            assert_eq!(c.stats().overflows, 1);
+        }
     }
 
     #[test]
@@ -375,6 +1132,7 @@ mod tests {
         c.mark_present(5);
         c.record_write(5, 4096);
         c.unpin(5);
+        assert_eq!(c.dirty_count(), 1);
         let (_e2, evicted) = c.insert_filling(6, FillReason::Demand);
         assert_eq!(
             evicted,
@@ -385,6 +1143,51 @@ mod tests {
             })
         );
         assert_eq!(c.stats().dirty_evictions, 1);
+        assert_eq!(c.dirty_count(), 0);
+    }
+
+    #[test]
+    fn complete_flush_keeps_overlapped_writes_dirty() {
+        let mut c = BlockCache::new(2);
+        let (_e, _) = c.insert_filling(9, FillReason::WriteAllocate);
+        c.mark_present(9);
+        c.record_write(9, 4096);
+        assert_eq!(c.dirty_count(), 1);
+        // A 4096-byte flush completes, but 2048 more bytes landed while it
+        // was in flight: the block must stay dirty with the remainder.
+        c.record_write(9, 2048);
+        c.complete_flush(9, 4096);
+        assert_eq!(c.dirty_count(), 1);
+        assert_eq!(c.dirty_blocks(), vec![(9, 2048)]);
+        // Flushing the remainder cleans it; over-flushing saturates.
+        c.complete_flush(9, 4096);
+        assert_eq!(c.dirty_count(), 0);
+        assert!(c.dirty_blocks().is_empty());
+        // A flush completing after its block was evicted is a no-op.
+        c.complete_flush(42, 4096);
+        c.unpin(9);
+        c.remove(9);
+        assert_eq!(c.dirty_count(), 0);
+    }
+
+    #[test]
+    fn dirty_count_tracks_evictions_and_removals() {
+        let mut c = BlockCache::new(1);
+        let (_e, _) = c.insert_filling(1, FillReason::WriteAllocate);
+        c.mark_present(1);
+        c.record_write(1, 8);
+        c.unpin(1);
+        assert_eq!(c.dirty_count(), 1);
+        // Evicting the dirty block drops the counter with it.
+        let (_e2, evicted) = c.insert_filling(2, FillReason::Demand);
+        assert!(evicted.unwrap().dirty);
+        assert_eq!(c.dirty_count(), 0);
+        c.mark_present(2);
+        c.record_write(2, 8);
+        c.unpin(2);
+        assert_eq!(c.dirty_count(), 1);
+        c.remove(2);
+        assert_eq!(c.dirty_count(), 0);
     }
 
     #[test]
@@ -414,12 +1217,157 @@ mod tests {
     }
 
     #[test]
-    fn prefetch_insertions_are_counted() {
-        let mut c = BlockCache::new(4);
-        let (_e, _) = c.insert_filling(1, FillReason::Prefetch);
-        c.mark_present(1);
-        c.unpin(1);
-        assert_eq!(c.stats().prefetches, 1);
+    fn prefetch_lifecycle_is_counted() {
+        let mut c = BlockCache::new(2);
+        // Prefetch two blocks; use one, then evict the other untouched.
+        for b in [1u64, 2] {
+            let (_e, _) = c.insert_filling(b, FillReason::Prefetch);
+            c.mark_present(b);
+            c.unpin(b);
+        }
+        if let Lookup::Hit(_) = c.lookup(1) {
+            c.unpin(1);
+        }
+        let (_e, evicted) = c.insert_filling(3, FillReason::Demand);
+        assert_eq!(evicted.map(|e| e.block), Some(2));
+        let s = c.stats();
+        assert_eq!(s.prefetches, 2);
+        assert_eq!(s.prefetch_used, 1);
+        assert_eq!(s.prefetch_wasted, 1);
+        // A second hit on block 1 is an ordinary hit, not another "used".
+        if let Lookup::Hit(_) = c.lookup(1) {
+            c.unpin(1);
+        }
+        assert_eq!(c.stats().prefetch_used, 1);
+    }
+
+    #[test]
+    fn one_ahead_prefetcher_matches_the_paper() {
+        let mut p = PrefetchPolicy::OneAhead.prefetcher();
+        assert_eq!(p.plan(0, 10, 16), vec![26]);
+        assert_eq!(PrefetchPolicy::None.prefetcher().plan(0, 10, 16), vec![]);
+    }
+
+    #[test]
+    fn strided_prefetcher_locks_onto_a_repeating_stride() {
+        let mut p = PrefetchPolicy::Strided.prefetcher();
+        assert_eq!(p.plan(0, 0, 16), vec![], "first read: no history");
+        assert_eq!(p.plan(0, 16, 16), vec![], "one stride seen: tentative");
+        assert_eq!(
+            p.plan(0, 32, 16),
+            vec![48, 64, 80, 96],
+            "stride confirmed: run ahead"
+        );
+        // A different disk's stream is tracked independently.
+        assert_eq!(p.plan(1, 100, 16), vec![]);
+        // Breaking the stride resets confidence.
+        assert_eq!(p.plan(0, 5, 16), vec![]);
+        // Negative strides work too (reverse scans).
+        assert_eq!(p.plan(0, 1, 16), vec![]);
+        // Candidates below zero are dropped.
+        assert_eq!(p.plan(0, 0, 16), vec![], "stride changed (-4 vs -1)");
+    }
+
+    #[test]
+    fn write_policy_actions() {
+        use WriteAction::*;
+        assert_eq!(WritePolicy::Through.on_write(8, 8192, 0, 8), FlushBlock);
+        assert_eq!(WritePolicy::FlushOnFull.on_write(8191, 8192, 7, 8), None);
+        assert_eq!(
+            WritePolicy::FlushOnFull.on_write(8192, 8192, 1, 8),
+            FlushBlock
+        );
+        assert_eq!(WritePolicy::Watermark.on_write(8192, 8192, 5, 8), None);
+        assert_eq!(
+            WritePolicy::Watermark.on_write(1, 8192, 6, 8),
+            FlushDirty,
+            "6 dirty of 8 is past the 3/4 watermark"
+        );
+        assert_eq!(WritePolicy::high_watermark(8), 6);
+        assert_eq!(WritePolicy::low_watermark(8), 4);
+        assert_eq!(WritePolicy::high_watermark(1), 1);
+    }
+
+    #[test]
+    fn cache_config_labels_and_parsing() {
+        assert_eq!(CacheConfig::DEFAULT.label(), "lru+one+onfull");
+        assert_eq!(CacheConfig::default(), CacheConfig::DEFAULT);
+        assert_eq!(
+            CacheConfig::parse("mru+strided+watermark").unwrap().label(),
+            "mru+strided+watermark"
+        );
+        // Partial specs keep the defaults; order does not matter.
+        assert_eq!(
+            CacheConfig::parse("strided").unwrap(),
+            CacheConfig {
+                prefetch: PrefetchPolicy::Strided,
+                ..CacheConfig::DEFAULT
+            }
+        );
+        assert_eq!(
+            CacheConfig::parse("watermark+clock").unwrap(),
+            CacheConfig {
+                replacement: ReplacementPolicy::Clock,
+                write: WritePolicy::Watermark,
+                ..CacheConfig::DEFAULT
+            }
+        );
+        assert_eq!(CacheConfig::parse("default").unwrap(), CacheConfig::DEFAULT);
+        assert!(CacheConfig::parse("arc").is_err());
+        // Doubly-pinned dimensions are conflicts, not silent overwrites.
+        assert!(CacheConfig::parse("lru+mru").unwrap_err().contains("twice"));
+        assert!(CacheConfig::parse("one+one").is_err());
+        assert!(CacheConfig::parse("default+clock").is_err());
+        for p in ReplacementPolicy::ALL {
+            assert_eq!(ReplacementPolicy::parse(p.name()), Some(p));
+        }
+        for p in PrefetchPolicy::ALL {
+            assert_eq!(PrefetchPolicy::parse(p.name()), Some(p));
+        }
+        for p in WritePolicy::ALL {
+            assert_eq!(WritePolicy::parse(p.name()), Some(p));
+        }
+    }
+
+    #[test]
+    fn cache_set_filters_by_union_of_partial_matches() {
+        let set = CacheSet::parse_list("mru, lru+strided").unwrap();
+        let mru = CacheConfig::parse("mru").unwrap();
+        let mru_through = CacheConfig::parse("mru+through").unwrap();
+        let strided = CacheConfig::parse("strided").unwrap();
+        assert!(set.matches(mru));
+        assert!(set.matches(mru_through), "partial spec is a wildcard");
+        assert!(set.matches(strided));
+        assert!(!set.matches(CacheConfig::DEFAULT));
+        assert!(CacheSet::all().matches(CacheConfig::DEFAULT));
+        assert!(CacheSet::parse_list("bogus").is_err());
+        assert!(CacheSet::parse_list("").is_err());
+        let default_only = CacheSet::parse_list("default").unwrap();
+        assert!(default_only.matches(CacheConfig::DEFAULT));
+        assert!(!default_only.matches(mru));
+    }
+
+    #[test]
+    fn stats_accumulate_and_hit_rate() {
+        let mut a = CacheStats {
+            hits: 3,
+            misses: 1,
+            flushes: 2,
+            ..CacheStats::default()
+        };
+        let b = CacheStats {
+            hits: 1,
+            misses: 3,
+            prefetches: 5,
+            ..CacheStats::default()
+        };
+        a.accumulate(b);
+        assert_eq!(a.hits, 4);
+        assert_eq!(a.misses, 4);
+        assert_eq!(a.prefetches, 5);
+        assert_eq!(a.flushes, 2);
+        assert_eq!(a.hit_rate(), 0.5);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use ddio_disk::DiskParams;
 use ddio_net::NetworkParams;
 use ddio_sim::SimDuration;
 
+pub use crate::cache::CacheConfig;
 pub use ddio_disk::{SchedPolicy, SchedSet};
 
 /// Physical placement of the file's blocks on each disk (§5 of the paper).
@@ -93,29 +94,34 @@ impl CostModel {
     }
 }
 
-/// Which file-system implementation services the transfer, and the
-/// disk-scheduling policy its drives (and, for DDIO, its block lists) run
-/// under.
+/// Which file-system implementation services the transfer, and the policies
+/// it runs under: the disk-scheduling policy of its drives (and, for DDIO,
+/// its block lists), plus — for the traditional-caching baseline — the cache
+/// policy composition of its IOP block caches.
 ///
-/// The policy is the single scheduling knob of a transfer: `run_transfer`
-/// copies it into every drive's [`DiskParams::sched`], and the
+/// The scheduling policy is one of the two knobs of a transfer:
+/// `run_transfer` copies it into every drive's [`DiskParams::sched`], and the
 /// [`SchedPolicy::Presort`] policy additionally sorts the submission-side
 /// queues (the DDIO block list per disk; the baseline's per-disk request
-/// streams). The paper's three configurations are the constants
-/// [`Method::TC`], [`Method::DDIO`], and [`Method::DDIO_SORTED`].
+/// streams). The [`CacheConfig`] is the other: it selects the replacement,
+/// prefetch, and write-back policies of every IOP cache (disk-directed I/O
+/// has no cache, so it carries none). The paper's three configurations are
+/// the constants [`Method::TC`], [`Method::DDIO`], and
+/// [`Method::DDIO_SORTED`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Method {
     /// The Intel-CFS-like baseline: per-IOP cache, prefetch, write-behind,
-    /// with the given drive-queue scheduling policy.
-    TraditionalCaching(SchedPolicy),
+    /// with the given drive-queue scheduling policy and cache composition.
+    TraditionalCaching(SchedPolicy, CacheConfig),
     /// Disk-directed I/O with the given scheduling policy
     /// ([`SchedPolicy::Presort`] is the paper's sorted variant).
     DiskDirected(SchedPolicy),
 }
 
 impl Method {
-    /// The paper's baseline: traditional caching, FCFS drive queues.
-    pub const TC: Method = Method::TraditionalCaching(SchedPolicy::Fcfs);
+    /// The paper's baseline: traditional caching, FCFS drive queues, and the
+    /// paper's cache composition (LRU + one-ahead + flush-on-full).
+    pub const TC: Method = Method::TraditionalCaching(SchedPolicy::Fcfs, CacheConfig::DEFAULT);
     /// Disk-directed I/O without any request reordering.
     pub const DDIO: Method = Method::DiskDirected(SchedPolicy::Fcfs);
     /// Disk-directed I/O with each disk's block list presorted by physical
@@ -124,37 +130,96 @@ impl Method {
 
     /// Short label used in tables: `"TC"`, `"DDIO"`, `"DDIO(sort)"` for the
     /// paper's configurations, `"TC(cscan)"` / `"DDIO(sstf)"` style for the
-    /// newer scheduler configurations. The paper-configuration labels are
-    /// load-bearing: cell seeds and golden snapshots derive from them.
+    /// newer scheduler configurations, and a `"TC[mru+one+onfull]"` suffix
+    /// for non-default cache compositions. The paper-configuration labels
+    /// are load-bearing: cell seeds and golden snapshots derive from them,
+    /// so the default composition adds no suffix.
     pub fn label(self) -> String {
-        match self {
-            Method::TraditionalCaching(SchedPolicy::Fcfs) => "TC".to_owned(),
-            Method::TraditionalCaching(SchedPolicy::Presort) => "TC(sort)".to_owned(),
-            Method::TraditionalCaching(p) => format!("TC({p})"),
+        let base = match self {
+            Method::TraditionalCaching(SchedPolicy::Fcfs, _) => "TC".to_owned(),
+            Method::TraditionalCaching(SchedPolicy::Presort, _) => "TC(sort)".to_owned(),
+            Method::TraditionalCaching(p, _) => format!("TC({p})"),
             Method::DiskDirected(SchedPolicy::Fcfs) => "DDIO".to_owned(),
             Method::DiskDirected(SchedPolicy::Presort) => "DDIO(sort)".to_owned(),
             Method::DiskDirected(p) => format!("DDIO({p})"),
+        };
+        match self.cache() {
+            Some(cache) if cache != CacheConfig::DEFAULT => format!("{base}[{}]", cache.label()),
+            _ => base,
         }
     }
 
     /// The scheduling policy this method runs under.
     pub fn sched(self) -> SchedPolicy {
         match self {
-            Method::TraditionalCaching(p) | Method::DiskDirected(p) => p,
+            Method::TraditionalCaching(p, _) | Method::DiskDirected(p) => p,
+        }
+    }
+
+    /// The cache policy composition, for methods that have a cache.
+    pub fn cache(self) -> Option<CacheConfig> {
+        match self {
+            Method::TraditionalCaching(_, cache) => Some(cache),
+            Method::DiskDirected(_) => None,
         }
     }
 
     /// The same file system under a different scheduling policy.
     pub fn with_sched(self, sched: SchedPolicy) -> Method {
         match self {
-            Method::TraditionalCaching(_) => Method::TraditionalCaching(sched),
+            Method::TraditionalCaching(_, cache) => Method::TraditionalCaching(sched, cache),
             Method::DiskDirected(_) => Method::DiskDirected(sched),
+        }
+    }
+
+    /// The same file system under a different cache composition (a no-op
+    /// for disk-directed I/O, which has no cache).
+    pub fn with_cache(self, cache: CacheConfig) -> Method {
+        match self {
+            Method::TraditionalCaching(sched, _) => Method::TraditionalCaching(sched, cache),
+            Method::DiskDirected(_) => self,
         }
     }
 
     /// True for any disk-directed configuration.
     pub fn is_disk_directed(self) -> bool {
         matches!(self, Method::DiskDirected(_))
+    }
+}
+
+/// Sizing and policies of the traditional-caching IOP block caches.
+///
+/// The capacity follows the paper's Table 1 footnote: each IOP's cache holds
+/// `buffers_per_disk_per_cp × n_cps × disks-per-IOP` blocks ("large enough
+/// to double-buffer an independent stream of requests from each CP to each
+/// disk" at the default of 2). The `policies` field is the *configuration
+/// default* only: the [`Method`] carries the composition a transfer actually
+/// runs (mirroring how [`DiskParams::sched`] relates to
+/// [`Method::sched`]), and `run_transfer` rejects a non-default
+/// `policies` that disagrees with the method rather than silently ignoring
+/// it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheParams {
+    /// Cache buffers per disk per CP (2 = the paper's double-buffering).
+    pub buffers_per_disk_per_cp: usize,
+    /// Replacement / prefetch / write-back composition.
+    pub policies: CacheConfig,
+}
+
+impl Default for CacheParams {
+    fn default() -> Self {
+        CacheParams {
+            buffers_per_disk_per_cp: 2,
+            policies: CacheConfig::DEFAULT,
+        }
+    }
+}
+
+impl CacheParams {
+    /// Total cache capacity in blocks of one IOP serving `disks` disks on a
+    /// machine with `n_cps` CPs (never zero).
+    pub fn capacity(&self, n_cps: usize, disks: usize) -> usize {
+        (self.buffers_per_disk_per_cp * n_cps * disks).max(1)
     }
 }
 
@@ -183,10 +248,8 @@ pub struct MachineConfig {
     pub bus_arbitration: SimDuration,
     /// Software cost constants.
     pub costs: CostModel,
-    /// Traditional caching: cache buffers per disk per CP (Table 1 footnote:
-    /// "large enough to double-buffer an independent stream of requests from
-    /// each CP to each disk").
-    pub cache_buffers_per_disk_per_cp: usize,
+    /// Traditional caching: IOP cache sizing and default policies.
+    pub cache: CacheParams,
     /// Disk-directed I/O: buffers per disk (the paper uses two).
     pub ddio_buffers_per_disk: usize,
     /// When true, every CP records the byte ranges it received/sent so tests
@@ -210,7 +273,7 @@ impl Default for MachineConfig {
             bus_bytes_per_sec: ddio_disk::SCSI_BUS_BANDWIDTH,
             bus_arbitration: ddio_disk::SCSI_ARBITRATION,
             costs: CostModel::default(),
-            cache_buffers_per_disk_per_cp: 2,
+            cache: CacheParams::default(),
             ddio_buffers_per_disk: 2,
             verify: false,
         }
@@ -319,7 +382,7 @@ impl MachineConfig {
             "DDIO needs at least one buffer per disk"
         );
         assert!(
-            self.cache_buffers_per_disk_per_cp >= 1,
+            self.cache.buffers_per_disk_per_cp >= 1,
             "traditional caching needs at least one buffer per disk per CP"
         );
     }
@@ -410,11 +473,11 @@ mod tests {
         assert_eq!(Method::DDIO.label(), "DDIO");
         assert_eq!(Method::DDIO_SORTED.label(), "DDIO(sort)");
         assert_eq!(
-            Method::TraditionalCaching(SchedPolicy::Cscan).label(),
+            Method::TC.with_sched(SchedPolicy::Cscan).label(),
             "TC(cscan)"
         );
         assert_eq!(
-            Method::TraditionalCaching(SchedPolicy::Presort).label(),
+            Method::TC.with_sched(SchedPolicy::Presort).label(),
             "TC(sort)"
         );
         assert_eq!(
@@ -426,12 +489,54 @@ mod tests {
         assert_eq!(Method::DDIO_SORTED.sched(), SchedPolicy::Presort);
         assert_eq!(
             Method::TC.with_sched(SchedPolicy::Sstf),
-            Method::TraditionalCaching(SchedPolicy::Sstf)
+            Method::TraditionalCaching(SchedPolicy::Sstf, CacheConfig::DEFAULT)
         );
         assert_eq!(
             Method::DDIO.with_sched(SchedPolicy::Presort),
             Method::DDIO_SORTED
         );
+    }
+
+    #[test]
+    fn method_cache_composition() {
+        // The paper-configuration labels stay suffix-free: seeds and golden
+        // snapshots derive from them.
+        let mru = CacheConfig::parse("mru").unwrap();
+        assert_eq!(Method::TC.cache(), Some(CacheConfig::DEFAULT));
+        assert_eq!(Method::DDIO.cache(), None);
+        assert_eq!(Method::TC.with_cache(mru).label(), "TC[mru+one+onfull]");
+        assert_eq!(
+            Method::TC
+                .with_sched(SchedPolicy::Cscan)
+                .with_cache(mru)
+                .label(),
+            "TC(cscan)[mru+one+onfull]"
+        );
+        assert_eq!(Method::TC.with_cache(CacheConfig::DEFAULT).label(), "TC");
+        // with_cache is a no-op on the cacheless disk-directed path.
+        assert_eq!(Method::DDIO.with_cache(mru), Method::DDIO);
+        // A cache change survives a scheduling change.
+        assert_eq!(
+            Method::TC
+                .with_cache(mru)
+                .with_sched(SchedPolicy::Sstf)
+                .cache(),
+            Some(mru)
+        );
+    }
+
+    #[test]
+    fn cache_params_capacity() {
+        let p = CacheParams::default();
+        assert_eq!(p.buffers_per_disk_per_cp, 2);
+        assert_eq!(p.policies, CacheConfig::DEFAULT);
+        assert_eq!(p.capacity(16, 1), 32);
+        assert_eq!(p.capacity(4, 2), 16);
+        let tiny = CacheParams {
+            buffers_per_disk_per_cp: 1,
+            ..CacheParams::default()
+        };
+        assert_eq!(tiny.capacity(0, 0), 1, "capacity never reaches zero");
     }
 
     #[test]

@@ -19,7 +19,8 @@
 use ddio_patterns::AccessPattern;
 pub use ddio_sim::stats::Summary;
 
-use crate::config::{LayoutPolicy, MachineConfig, Method, SchedPolicy};
+use crate::cache::{CacheConfig, PrefetchPolicy, ReplacementPolicy, WritePolicy};
+use crate::config::{CacheParams, LayoutPolicy, MachineConfig, Method, SchedPolicy};
 use crate::experiment::pool;
 use crate::experiment::{
     format_pattern_table, format_sensitivity_table, run_data_point, DataPoint, SensitivityPoint,
@@ -324,6 +325,18 @@ pub fn registry() -> Vec<Scenario> {
             }),
         },
         Scenario {
+            name: "cache-sweep",
+            title: "IOP cache policy sweep (random-blocks layout)",
+            description: "replacement x prefetch x write-back compositions and cache sizes, TC vs DDIO(sort)",
+            report: Report::Flat,
+            build: build_cache_sweep,
+            note: Some(|_| {
+                "TC cache compositions (default lru+one+onfull, varying one dimension at a \
+                 time) at 1 and 8 buffers/disk/CP, against a fixed DDIO(sort) baseline"
+                    .to_owned()
+            }),
+        },
+        Scenario {
             name: "record-cp-cross",
             title: "Record size x CP count cross sweep",
             description: "record sizes crossed with CP counts, rb pattern, both methods",
@@ -402,16 +415,21 @@ fn build_fig4(params: &SweepParams) -> Vec<Cell> {
 }
 
 /// Figures 5–8 share this grid: the sensitivity patterns × both methods at
-/// 8 KB records, one cell per swept value.
+/// 8 KB records, one cell per swept value. `prepare` shapes the base machine
+/// (layout and any fixed counts) and `mutate` applies the swept value — the
+/// whole per-figure difference, so the four builders below are one-liners
+/// instead of four copies of the config-cloning scaffolding.
 fn sensitivity_cells(
     scenario: &'static str,
     params: &SweepParams,
-    base: MachineConfig,
+    prepare: fn(&mut MachineConfig),
     axis: &'static str,
     values: &[usize],
     mutate: fn(&mut MachineConfig, usize),
 ) -> Vec<Cell> {
     let methods = [Method::TC, Method::DDIO_SORTED];
+    let mut base = params.base.clone();
+    prepare(&mut base);
     let mut cells = Vec::new();
     for &value in values {
         let mut config = base.clone();
@@ -434,38 +452,40 @@ fn sensitivity_cells(
 }
 
 fn build_fig5(params: &SweepParams) -> Vec<Cell> {
-    let base = MachineConfig {
-        layout: LayoutPolicy::Contiguous,
-        ..params.base.clone()
-    };
-    sensitivity_cells("fig5", params, base, "cps", &[1, 2, 4, 8, 16], |c, v| {
-        c.n_cps = v
-    })
+    sensitivity_cells(
+        "fig5",
+        params,
+        |c| c.layout = LayoutPolicy::Contiguous,
+        "cps",
+        &[1, 2, 4, 8, 16],
+        |c, v| c.n_cps = v,
+    )
 }
 
 fn build_fig6(params: &SweepParams) -> Vec<Cell> {
-    let base = MachineConfig {
-        layout: LayoutPolicy::Contiguous,
-        n_disks: 16,
-        ..params.base.clone()
-    };
     // IOP counts that divide 16 disks evenly.
-    sensitivity_cells("fig6", params, base, "iops", &[1, 2, 4, 8, 16], |c, v| {
-        c.n_iops = v
-    })
+    sensitivity_cells(
+        "fig6",
+        params,
+        |c| {
+            c.layout = LayoutPolicy::Contiguous;
+            c.n_disks = 16;
+        },
+        "iops",
+        &[1, 2, 4, 8, 16],
+        |c, v| c.n_iops = v,
+    )
 }
 
 fn build_fig7(params: &SweepParams) -> Vec<Cell> {
-    let base = MachineConfig {
-        layout: LayoutPolicy::Contiguous,
-        n_iops: 1,
-        n_cps: 16,
-        ..params.base.clone()
-    };
     sensitivity_cells(
         "fig7",
         params,
-        base,
+        |c| {
+            c.layout = LayoutPolicy::Contiguous;
+            c.n_iops = 1;
+            c.n_cps = 16;
+        },
         "disks",
         &[1, 2, 4, 8, 16, 32],
         |c, v| c.n_disks = v,
@@ -473,16 +493,14 @@ fn build_fig7(params: &SweepParams) -> Vec<Cell> {
 }
 
 fn build_fig8(params: &SweepParams) -> Vec<Cell> {
-    let base = MachineConfig {
-        layout: LayoutPolicy::RandomBlocks,
-        n_iops: 1,
-        n_cps: 16,
-        ..params.base.clone()
-    };
     sensitivity_cells(
         "fig8",
         params,
-        base,
+        |c| {
+            c.layout = LayoutPolicy::RandomBlocks;
+            c.n_iops = 1;
+            c.n_cps = 16;
+        },
         "disks",
         &[1, 2, 4, 8, 16, 32],
         |c, v| c.n_disks = v,
@@ -565,10 +583,7 @@ fn build_sched_sweep(params: &SweepParams) -> Vec<Cell> {
     let mut cells = Vec::new();
     for pattern in AccessPattern::sensitivity_patterns() {
         for sched in SchedPolicy::ALL {
-            for method in [
-                Method::TraditionalCaching(sched),
-                Method::DiskDirected(sched),
-            ] {
+            for method in [Method::TC.with_sched(sched), Method::DiskDirected(sched)] {
                 cells.push(Cell {
                     scenario: "sched-sweep",
                     config: config.clone(),
@@ -580,6 +595,93 @@ fn build_sched_sweep(params: &SweepParams) -> Vec<Cell> {
                         params.seed,
                         &["sched-sweep", &pattern.name(), &method.label()],
                         &[],
+                    ),
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// The TC cache compositions the cache sweep explores: the paper's default
+/// plus every single-dimension deviation from it (two alternate replacement
+/// policies, two alternate prefetchers, two alternate write-back policies).
+/// Sweeping one dimension at a time keeps the grid small while still
+/// attributing any throughput change to one policy.
+pub fn cache_sweep_compositions() -> Vec<CacheConfig> {
+    let mut comps = vec![CacheConfig::DEFAULT];
+    for replacement in [ReplacementPolicy::Mru, ReplacementPolicy::Clock] {
+        comps.push(CacheConfig {
+            replacement,
+            ..CacheConfig::DEFAULT
+        });
+    }
+    for prefetch in [PrefetchPolicy::None, PrefetchPolicy::Strided] {
+        comps.push(CacheConfig {
+            prefetch,
+            ..CacheConfig::DEFAULT
+        });
+    }
+    for write in [WritePolicy::Through, WritePolicy::Watermark] {
+        comps.push(CacheConfig {
+            write,
+            ..CacheConfig::DEFAULT
+        });
+    }
+    comps
+}
+
+/// The cache-policy sweep: the fig5-style patterns plus a collective write
+/// (`wb`, so the write-back policies have writes to schedule) on the
+/// random-blocks layout, each TC composition at a thrashing (1 buffer per
+/// disk per CP) and a generous (8) cache size, against one fixed
+/// DDIO(sort) baseline per pattern — the experiment behind the paper's
+/// "could smarter caching close the gap?" question in §4/§6.
+fn build_cache_sweep(params: &SweepParams) -> Vec<Cell> {
+    let mut patterns = AccessPattern::sensitivity_patterns();
+    patterns.push(AccessPattern::parse("wb").expect("known pattern"));
+    let sizes = [1usize, 8];
+    let mut cells = Vec::new();
+    for pattern in patterns {
+        // The cacheless baseline the compositions are judged against.
+        let baseline = Method::DDIO_SORTED;
+        cells.push(Cell {
+            scenario: "cache-sweep",
+            config: MachineConfig {
+                layout: LayoutPolicy::RandomBlocks,
+                ..params.base.clone()
+            },
+            method: baseline,
+            pattern,
+            record_bytes: 8192,
+            axes: Vec::new(),
+            seed: derive_seed(
+                params.seed,
+                &["cache-sweep", &pattern.name(), &baseline.label()],
+                &[],
+            ),
+        });
+        for &bufs in &sizes {
+            for comp in cache_sweep_compositions() {
+                let method = Method::TC.with_cache(comp);
+                cells.push(Cell {
+                    scenario: "cache-sweep",
+                    config: MachineConfig {
+                        layout: LayoutPolicy::RandomBlocks,
+                        cache: CacheParams {
+                            buffers_per_disk_per_cp: bufs,
+                            ..CacheParams::default()
+                        },
+                        ..params.base.clone()
+                    },
+                    method,
+                    pattern,
+                    record_bytes: 8192,
+                    axes: vec![Axis::new("bufs", bufs as u64)],
+                    seed: derive_seed(
+                        params.seed,
+                        &["cache-sweep", &pattern.name(), &method.label()],
+                        &[bufs as u64],
                     ),
                 });
             }
@@ -692,7 +794,7 @@ pub fn format_report(scenario: &Scenario, params: &SweepParams, results: &[CellR
 fn format_flat_table(results: &[CellResult]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<9}{:<12}{:>10}{:>8}  {:<22}{:>10}{:>8}{:>10}\n",
+        "{:<9}{:<23}{:>10}{:>8}  {:<22}{:>10}{:>8}{:>10}\n",
         "pattern", "method", "record", "layout", "axes", "MiB/s", "cv", "hw-limit"
     ));
     for r in results {
@@ -703,7 +805,7 @@ fn format_flat_table(results: &[CellResult]) -> String {
             .collect::<Vec<_>>()
             .join(" ");
         out.push_str(&format!(
-            "{:<9}{:<12}{:>10}{:>8}  {:<22}{:>10.2}{:>8.3}{:>10.1}\n",
+            "{:<9}{:<23}{:>10}{:>8}  {:<22}{:>10.2}{:>8.3}{:>10.1}\n",
             r.point.pattern,
             r.point.method.label(),
             r.point.record_bytes,
@@ -909,7 +1011,7 @@ mod tests {
             assert!(
                 cells
                     .iter()
-                    .any(|c| c.method == Method::TraditionalCaching(policy)),
+                    .any(|c| c.method == Method::TC.with_sched(policy)),
                 "no TC cell for {policy}"
             );
         }
@@ -920,12 +1022,47 @@ mod tests {
     }
 
     #[test]
+    fn cache_sweep_covers_every_composition_and_size() {
+        let cells = (find("cache-sweep").unwrap().build)(&tiny_params());
+        let comps = cache_sweep_compositions();
+        // Default + 2 replacement + 2 prefetch + 2 write variants.
+        assert_eq!(comps.len(), 7);
+        // 5 patterns x (7 compositions x 2 sizes + 1 DDIO baseline).
+        assert_eq!(cells.len(), 5 * (7 * 2 + 1));
+        for comp in &comps {
+            assert!(
+                cells
+                    .iter()
+                    .any(|c| c.method == Method::TC.with_cache(*comp)),
+                "no TC cell for {comp}"
+            );
+        }
+        let baselines: Vec<_> = cells
+            .iter()
+            .filter(|c| c.method == Method::DDIO_SORTED)
+            .collect();
+        assert_eq!(baselines.len(), 5, "one DDIO baseline per pattern");
+        assert!(cells.iter().any(|c| c.pattern.is_write()), "wb included");
+        for c in &cells {
+            assert_eq!(c.config.layout, LayoutPolicy::RandomBlocks);
+            if let Some(axis) = c.axes.first() {
+                assert_eq!(axis.name, "bufs");
+                assert_eq!(c.config.cache.buffers_per_disk_per_cp, axis.value as usize);
+            }
+            // Cells carry the composition in the Method, never in the
+            // machine config (which run_transfer would reject).
+            assert_eq!(c.config.cache.policies, CacheConfig::DEFAULT);
+        }
+    }
+
+    #[test]
     fn new_scenario_cells_have_unique_seeds() {
         for name in [
             "mixed-rw",
             "degraded-disk",
             "record-cp-cross",
             "sched-sweep",
+            "cache-sweep",
         ] {
             let cells = (find(name).unwrap().build)(&tiny_params());
             assert!(!cells.is_empty(), "{name} built no cells");

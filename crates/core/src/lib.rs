@@ -4,8 +4,9 @@
 //! The crate contains both file-system designs the paper compares:
 //!
 //! * **Traditional caching** ([`Method::TC`]): each CP issues
-//!   one request per contiguous chunk of the file; IOPs run an LRU block
-//!   cache with one-block-ahead prefetch and write-behind.
+//!   one request per contiguous chunk of the file; IOPs run a
+//!   policy-composed block cache — by default the paper's LRU replacement,
+//!   one-block-ahead prefetch, and flush-on-full write-behind.
 //! * **Disk-directed I/O** ([`Method::DDIO`] /
 //!   [`Method::DDIO_SORTED`]): the CPs issue a single collective
 //!   request; each IOP derives its own block list, optionally presorts it by
@@ -15,7 +16,14 @@
 //! Both file systems run their drives under a pluggable disk-scheduling
 //! policy ([`SchedPolicy`]): each [`Method`] variant carries the policy, so
 //! FCFS, SSTF, CSCAN, and the paper's submission-side presort are all
-//! configurations of one subsystem rather than special cases.
+//! configurations of one subsystem rather than special cases. The
+//! traditional-caching baseline's cache is equally pluggable
+//! ([`CacheConfig`] in [`cache`]): the `Method` carries a composition of
+//! replacement ([`ReplacementPolicy`]: LRU/MRU/clock), prefetch
+//! ([`PrefetchPolicy`]: none/one-ahead/strided), and write-back
+//! ([`WritePolicy`]: write-through/flush-on-full/high-watermark) policies,
+//! so the paper's "how much could smarter caching help?" question is a
+//! sweep (`cache-sweep`), not a rewrite.
 //!
 //! On top sit the striped-file layout machinery ([`FileLayout`],
 //! [`LayoutPolicy`]), the user-facing collective API ([`CollectiveFile`]),
@@ -53,8 +61,13 @@ mod msg;
 mod tc;
 mod util;
 
+pub use cache::{
+    CacheConfig, CacheFilter, CacheSet, CacheStats, PrefetchPolicy, ReplacementPolicy, WritePolicy,
+};
 pub use collective::{CollectiveError, CollectiveFile};
-pub use config::{CostModel, LayoutPolicy, MachineConfig, Method, SchedPolicy, SchedSet};
+pub use config::{
+    CacheParams, CostModel, LayoutPolicy, MachineConfig, Method, SchedPolicy, SchedSet,
+};
 pub use layout::{BlockLocation, FileLayout};
 pub use machine::{run_transfer, TransferOutcome, VerifyReport};
 pub use msg::FsMessage;

@@ -15,7 +15,8 @@ use ddio_sim::stats::throughput_mibs;
 use ddio_sim::sync::{Receiver, Resource};
 use ddio_sim::{Sim, SimDuration, SimRng};
 
-use crate::config::{MachineConfig, Method};
+use crate::cache::CacheStats;
+use crate::config::{CacheConfig, MachineConfig, Method};
 use crate::ddio;
 use crate::layout::FileLayout;
 use crate::msg::FsMessage;
@@ -69,6 +70,9 @@ pub(crate) struct RunContext {
     pub net: Network<FsMessage>,
     /// Optional data-placement tracking.
     pub verify: Option<Rc<RefCell<VerifyState>>>,
+    /// Per-IOP cache statistics, published by each traditional-caching IOP
+    /// server at the end-of-transfer sync (`None` for cacheless methods).
+    pub cache_stats: RefCell<Vec<Option<CacheStats>>>,
 }
 
 impl RunContext {
@@ -86,6 +90,11 @@ impl RunContext {
         if let Some(v) = &self.verify {
             v.borrow_mut().file_written.add(file_offset, len);
         }
+    }
+
+    /// Publishes IOP `iop`'s final cache statistics.
+    pub fn publish_cache_stats(&self, iop: usize, stats: CacheStats) {
+        self.cache_stats.borrow_mut()[iop] = Some(stats);
     }
 }
 
@@ -130,6 +139,9 @@ pub struct TransferOutcome {
     pub disk_utilization: Vec<f64>,
     /// Per-IOP bus utilization over each bus's active window.
     pub bus_utilization: Vec<f64>,
+    /// Per-IOP cache statistics (populated by traditional caching; `None`
+    /// entries for cacheless methods).
+    pub cache_stats: Vec<Option<CacheStats>>,
     /// Data-placement verification (present only when `config.verify`).
     pub verify: Option<VerifyReport>,
 }
@@ -171,6 +183,18 @@ impl TransferOutcome {
             .map(|s| s.max_queue_depth)
             .max()
             .unwrap_or(0)
+    }
+
+    /// Cache counters pooled over every IOP, or `None` when the method ran
+    /// no cache (disk-directed I/O).
+    pub fn cache_totals(&self) -> Option<CacheStats> {
+        let mut total: Option<CacheStats> = None;
+        for stats in self.cache_stats.iter().flatten() {
+            total
+                .get_or_insert_with(CacheStats::default)
+                .accumulate(*stats);
+        }
+        total
     }
 }
 
@@ -220,12 +244,27 @@ pub fn run_transfer(
         }))
     });
 
+    // Like disk.sched below, the config's cache policies are only a default:
+    // the Method carries the composition a transfer runs. A non-default
+    // config value that disagrees with the method would be silently ignored,
+    // so it is rejected instead.
+    if let Some(cache) = method.cache() {
+        assert!(
+            config.cache.policies == CacheConfig::DEFAULT || config.cache.policies == cache,
+            "config.cache.policies is {} but the method runs {}: the Method carries the cache \
+             composition for a transfer (e.g. Method::TC.with_cache(...))",
+            config.cache.policies,
+            cache,
+        );
+    }
+
     let run = Rc::new(RunContext {
         config: Rc::new(config.clone()),
         pattern: pattern_instance,
         layout: Rc::clone(&layout),
         net: net.clone(),
         verify,
+        cache_stats: RefCell::new(vec![None; config.n_iops]),
     });
 
     // Build the CPs.
@@ -282,7 +321,7 @@ pub fn run_transfer(
     }
 
     match method {
-        Method::TraditionalCaching(sched) => {
+        Method::TraditionalCaching(sched, cache) => {
             tc::spawn_transfer(
                 &mut sim,
                 &ctx,
@@ -292,6 +331,7 @@ pub fn run_transfer(
                 cp_inboxes,
                 iop_inboxes,
                 sched,
+                cache,
             );
         }
         Method::DiskDirected(sched) => {
@@ -333,6 +373,7 @@ pub fn run_transfer(
     });
 
     let transferred_bytes = run.pattern.total_transfer_bytes();
+    let cache_stats = run.cache_stats.borrow().clone();
     TransferOutcome {
         method,
         pattern: pattern.name(),
@@ -347,6 +388,7 @@ pub fn run_transfer(
         disk_stats,
         disk_utilization,
         bus_utilization,
+        cache_stats,
         verify: verify_report,
     }
 }
@@ -426,12 +468,60 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "the Method carries the cache composition")]
+    fn conflicting_config_cache_is_rejected() {
+        // Same contract as the scheduling policy: the Method carries the
+        // cache composition; a disagreeing non-default config fails loudly.
+        let mut config = tiny_config();
+        config.cache.policies = CacheConfig::parse("mru").unwrap();
+        run_transfer(
+            &config,
+            Method::TC,
+            AccessPattern::parse("rb").unwrap(),
+            8192,
+            1,
+        );
+    }
+
+    #[test]
+    fn matching_config_cache_is_accepted_and_reports_stats() {
+        let mut config = tiny_config();
+        let mru = CacheConfig::parse("mru").unwrap();
+        config.cache.policies = mru;
+        let outcome = run_transfer(
+            &config,
+            Method::TC.with_cache(mru),
+            AccessPattern::parse("rb").unwrap(),
+            8192,
+            1,
+        );
+        assert!(outcome.throughput_mibs > 0.0);
+        let totals = outcome.cache_totals().expect("TC publishes cache stats");
+        assert!(totals.misses > 0, "a cold cache must miss");
+        assert_eq!(outcome.cache_stats.len(), config.n_iops);
+        assert!(outcome.cache_stats.iter().all(|s| s.is_some()));
+    }
+
+    #[test]
+    fn ddio_reports_no_cache_stats() {
+        let outcome = run_transfer(
+            &tiny_config(),
+            Method::DDIO,
+            AccessPattern::parse("rb").unwrap(),
+            8192,
+            1,
+        );
+        assert!(outcome.cache_totals().is_none());
+        assert!(outcome.cache_stats.iter().all(|s| s.is_none()));
+    }
+
+    #[test]
     fn matching_config_sched_is_accepted() {
         let mut config = tiny_config();
         config.disk.sched = SchedPolicy::Cscan;
         let outcome = run_transfer(
             &config,
-            Method::TraditionalCaching(SchedPolicy::Cscan),
+            Method::TC.with_sched(SchedPolicy::Cscan),
             AccessPattern::parse("rb").unwrap(),
             8192,
             1,

@@ -6,14 +6,17 @@
 //!   one request (split at file-system block boundaries), with at most one
 //!   outstanding request per disk per CP.
 //! * Each incoming request at an IOP is handled by a new thread: cache
-//!   lookup, disk read on a miss, one-block-ahead prefetch, and a reply that
-//!   carries the data. Write requests carry data to the IOP, which copies it
-//!   into a cache buffer and flushes the block once it is entirely written
-//!   (write-behind).
+//!   lookup, disk read on a miss, prefetch, and a reply that carries the
+//!   data. Write requests carry data to the IOP, which copies it into a
+//!   cache buffer and writes it back per the cache's [`WritePolicy`]. The
+//!   paper's design — one-block-ahead prefetch, flush once a block is
+//!   entirely written — is [`CacheConfig::DEFAULT`]; the transfer's
+//!   [`CacheConfig`] selects the replacement, prefetch, and write-back
+//!   policies actually run (see [`crate::cache`]).
 //! * The measured transfer ends only when all write-behind and prefetch
 //!   activity has drained (the CPs issue an explicit sync at the end).
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -22,7 +25,9 @@ use ddio_patterns::AccessKind;
 use ddio_sim::sync::{oneshot, Barrier, CountdownEvent};
 use ddio_sim::{Sim, SimContext};
 
-use crate::cache::{BlockCache, EntryState, FillReason, Lookup};
+use crate::cache::{
+    BlockCache, CacheConfig, EntryState, FillReason, Lookup, Prefetcher, WriteAction, WritePolicy,
+};
 use crate::machine::{CpParts, Inbox, IopParts, RunContext};
 use crate::msg::FsMessage;
 use crate::util::PendingCounter;
@@ -67,6 +72,10 @@ struct IopServer {
     parts: Rc<IopParts>,
     run: Rc<RunContext>,
     cache: RefCell<BlockCache>,
+    /// The prefetcher observing this IOP's demand-read stream.
+    prefetcher: RefCell<Box<dyn Prefetcher>>,
+    /// True while a watermark flush sweep is running (at most one at a time).
+    sweeping: Cell<bool>,
     /// Outstanding background work (prefetches and write-behind flushes).
     background: PendingCounter,
 }
@@ -99,6 +108,7 @@ impl IopServer {
 
     /// Writes `bytes` of `block` from the cache buffer back to its disk.
     async fn flush_block(&self, block: u64, bytes: u64) {
+        self.cache.borrow_mut().note_flush();
         let loc = self.run.layout.location(block);
         let sectors = bytes.div_ceil(self.run.config.disk.geometry.bytes_per_sector as u64) as u32;
         self.parts.bus.transfer(bytes).await;
@@ -146,39 +156,72 @@ impl IopServer {
         }
     }
 
-    /// Starts a one-block-ahead prefetch of the next block on the same disk,
-    /// if it exists and is not already cached.
+    /// Feeds the demand read of `block` to the prefetch policy and starts a
+    /// background fetch for every planned block that exists and is not
+    /// already cached.
     fn maybe_prefetch(self: &Rc<Self>, ctx: &SimContext, block: u64) {
         let stride = self.run.config.n_disks as u64;
-        let next = block + stride;
-        if next >= self.run.layout.n_blocks() || self.cache.borrow().contains(next) {
+        let disk = self.run.layout.disk_of_block(block);
+        let candidates = self.prefetcher.borrow_mut().plan(disk, block, stride);
+        for next in candidates {
+            if next >= self.run.layout.n_blocks() || self.cache.borrow().contains(next) {
+                continue;
+            }
+            let server = Rc::clone(self);
+            let ctx2 = ctx.clone();
+            self.background.begin();
+            ctx.spawn(async move {
+                let costs = server.run.config.costs;
+                server.parts.cpu.use_for(costs.iop_cache_cpu).await;
+                // Re-check: another request may have brought the block in
+                // while we were charged for the cache access.
+                if !server.cache.borrow().contains(next) {
+                    let (_e, evicted) = server
+                        .cache
+                        .borrow_mut()
+                        .insert_filling(next, FillReason::Prefetch);
+                    if let Some(victim) = evicted {
+                        if victim.dirty {
+                            server
+                                .flush_block(victim.block, victim.written_bytes.max(1))
+                                .await;
+                        }
+                    }
+                    server.fetch_block(next).await;
+                    server.cache.borrow_mut().mark_present(next);
+                    server.cache.borrow_mut().unpin(next);
+                }
+                let _ = ctx2;
+                server.background.end();
+            });
+        }
+    }
+
+    /// Starts the watermark flush sweep if none is running: dirty blocks go
+    /// to disk lowest-block-first until the cache is back at the low
+    /// watermark (re-reading the dirty set each step, so writes that land
+    /// mid-sweep extend it).
+    fn start_flush_sweep(self: &Rc<Self>, ctx: &SimContext) {
+        if self.sweeping.replace(true) {
             return;
         }
         let server = Rc::clone(self);
-        let ctx2 = ctx.clone();
         self.background.begin();
         ctx.spawn(async move {
-            let costs = server.run.config.costs;
-            server.parts.cpu.use_for(costs.iop_cache_cpu).await;
-            // Re-check: another request may have brought the block in while
-            // we were charged for the cache access.
-            if !server.cache.borrow().contains(next) {
-                let (_e, evicted) = server
-                    .cache
-                    .borrow_mut()
-                    .insert_filling(next, FillReason::Prefetch);
-                if let Some(victim) = evicted {
-                    if victim.dirty {
-                        server
-                            .flush_block(victim.block, victim.written_bytes.max(1))
-                            .await;
-                    }
+            let low = WritePolicy::low_watermark(server.cache.borrow().capacity());
+            loop {
+                let dirty = server.cache.borrow().dirty_blocks();
+                if dirty.len() <= low {
+                    break;
                 }
-                server.fetch_block(next).await;
-                server.cache.borrow_mut().mark_present(next);
-                server.cache.borrow_mut().unpin(next);
+                let (block, written) = dirty[0];
+                server.flush_block(block, written.max(1)).await;
+                // Subtract only the snapshot that was flushed: bytes written
+                // into the block while the flush was in flight stay dirty
+                // for a later sweep step or the end-of-transfer sync.
+                server.cache.borrow_mut().complete_flush(block, written);
             }
-            let _ = ctx2;
+            server.sweeping.set(false);
             server.background.end();
         });
     }
@@ -213,16 +256,34 @@ impl IopServer {
                     len as u64,
                 );
                 let written = self.cache.borrow_mut().record_write(block, len as u64);
-                if written >= self.block_bytes(block) {
-                    // Write-behind: flush the now-full block in the background.
-                    let server = Rc::clone(&self);
-                    let bytes = self.block_bytes(block);
-                    self.background.begin();
-                    ctx.spawn(async move {
-                        server.flush_block(block, bytes).await;
-                        server.cache.borrow_mut().mark_clean(block);
-                        server.background.end();
-                    });
+                let policy = self.cache.borrow().config().write;
+                let (dirty, capacity) = {
+                    let c = self.cache.borrow();
+                    (c.dirty_count(), c.capacity())
+                };
+                match policy.on_write(written, self.block_bytes(block), dirty, capacity) {
+                    WriteAction::None => {}
+                    WriteAction::FlushBlock if policy == WritePolicy::Through => {
+                        // Write-through: this request's bytes reach the disk
+                        // before the reply is composed. Only this request's
+                        // `len` is flushed — a concurrent writer's bytes are
+                        // its own flush's responsibility.
+                        self.flush_block(block, len as u64).await;
+                        self.cache.borrow_mut().complete_flush(block, len as u64);
+                    }
+                    WriteAction::FlushBlock => {
+                        // Write-behind: flush the now-full block in the
+                        // background.
+                        let server = Rc::clone(&self);
+                        let bytes = self.block_bytes(block);
+                        self.background.begin();
+                        ctx.spawn(async move {
+                            server.flush_block(block, bytes).await;
+                            server.cache.borrow_mut().mark_clean(block);
+                            server.background.end();
+                        });
+                    }
+                    WriteAction::FlushDirty => self.start_flush_sweep(&ctx),
                 }
             }
         }
@@ -248,6 +309,10 @@ impl IopServer {
             self.cache.borrow_mut().mark_clean(block);
         }
         self.background.wait_idle().await;
+        // Every request has been served and all background work has drained:
+        // publish this IOP's final cache counters for the report.
+        self.run
+            .publish_cache_stats(self.parts.iop, self.cache.borrow().stats());
         let reply = FsMessage::TcSyncDone;
         let bytes = self.run.config.costs.message_header_bytes;
         self.run
@@ -348,6 +413,10 @@ impl CpClient {
 /// per-disk request stream by physical location (the baseline analog of the
 /// disk-directed block-list presort), while the drive-level policies
 /// (SSTF/CSCAN) leave the streams in request order and reorder at the drive.
+///
+/// `cache` is the policy composition every IOP's block cache runs
+/// (replacement, prefetch, write-back); [`CacheConfig::DEFAULT`] is the
+/// paper's design.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn spawn_transfer(
     sim: &mut Sim,
@@ -358,6 +427,7 @@ pub(crate) fn spawn_transfer(
     cp_inboxes: Vec<Inbox>,
     iop_inboxes: Vec<Inbox>,
     sched: SchedPolicy,
+    cache: CacheConfig,
 ) {
     let config = &run.config;
     let op = if run.pattern.is_write() {
@@ -368,12 +438,13 @@ pub(crate) fn spawn_transfer(
 
     // IOP servers.
     for (iop_parts, inbox) in iops.iter().zip(iop_inboxes) {
-        let cache_capacity =
-            config.cache_buffers_per_disk_per_cp * config.n_cps * iop_parts.disks.len();
+        let cache_capacity = config.cache.capacity(config.n_cps, iop_parts.disks.len());
         let server = Rc::new(IopServer {
             parts: Rc::clone(iop_parts),
             run: Rc::clone(run),
-            cache: RefCell::new(BlockCache::new(cache_capacity.max(1))),
+            cache: RefCell::new(BlockCache::with_config(cache_capacity, cache)),
+            prefetcher: RefCell::new(cache.prefetch.prefetcher()),
+            sweeping: Cell::new(false),
             background: PendingCounter::new(),
         });
         let server_ctx = ctx.clone();

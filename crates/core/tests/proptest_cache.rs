@@ -1,0 +1,239 @@
+//! Property-based tests of the policy-composed block cache: under every
+//! replacement policy and arbitrary op sequences, pinned entries are never
+//! evicted, the capacity is only exceeded when the overflow counter accounts
+//! for it, and `Filling` entries resolve (wake their waiters) exactly once.
+//!
+//! The driver mirrors the IOP server's usage against a shadow model: inserts
+//! pin, lookups pin on hit, unpins release, and the evicted block returned
+//! by `insert_filling` is checked against the model's idea of evictability.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use ddio_core::cache::{
+    BlockCache, CacheConfig, EntryState, FillReason, Lookup, ReplacementPolicy,
+};
+use ddio_sim::sync::Event;
+
+/// One scripted cache operation; inapplicable ops are skipped, so any
+/// `(action, block)` sequence is a valid script.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Lookup,
+    Insert,
+    MarkPresent,
+    Unpin,
+    Write,
+    Clean,
+    CompleteFlush,
+}
+
+impl Op {
+    fn from_code(code: u8) -> Op {
+        match code % 7 {
+            0 => Op::Lookup,
+            1 => Op::Insert,
+            2 => Op::MarkPresent,
+            3 => Op::Unpin,
+            4 => Op::Write,
+            5 => Op::Clean,
+            _ => Op::CompleteFlush,
+        }
+    }
+}
+
+/// The model's view of one cached block.
+struct ModelEntry {
+    pins: u32,
+    /// Distinct dirty bytes the model believes are unwritten.
+    written: u64,
+    /// The fill event while filling (to check it resolves exactly once).
+    filling: Option<Event>,
+}
+
+fn run_script(policy: ReplacementPolicy, capacity: usize, script: &[(u8, u64)]) {
+    let config = CacheConfig {
+        replacement: policy,
+        ..CacheConfig::DEFAULT
+    };
+    let mut cache = BlockCache::with_config(capacity, config);
+    let mut model: HashMap<u64, ModelEntry> = HashMap::new();
+    let mut lookups = 0u64;
+
+    for &(code, block) in script {
+        match Op::from_code(code) {
+            Op::Lookup => {
+                lookups += 1;
+                match cache.lookup(block) {
+                    Lookup::Hit(_) => {
+                        let entry = model.get_mut(&block).expect("hit on unmodeled block");
+                        entry.pins += 1;
+                    }
+                    Lookup::Miss => {
+                        assert!(!model.contains_key(&block), "miss on a modeled block");
+                    }
+                }
+            }
+            Op::Insert => {
+                if model.contains_key(&block) {
+                    continue;
+                }
+                let had_candidates = model.values().any(|e| e.pins == 0 && e.filling.is_none());
+                let at_capacity = model.len() >= capacity;
+                let (entry, evicted) = cache.insert_filling(block, FillReason::Demand);
+                let event = match &entry.borrow().state {
+                    EntryState::Filling(ev) => ev.clone(),
+                    EntryState::Present => panic!("fresh insert not filling"),
+                };
+                assert!(!event.is_set(), "fresh fill event already resolved");
+                if let Some(ev) = evicted {
+                    let victim = model.remove(&ev.block).expect("evicted unmodeled block");
+                    assert_eq!(victim.pins, 0, "{policy} evicted a pinned block");
+                    assert!(
+                        victim.filling.is_none(),
+                        "{policy} evicted a block mid-fill"
+                    );
+                } else if at_capacity {
+                    assert!(
+                        !had_candidates,
+                        "{policy} overflowed with an evictable candidate present"
+                    );
+                }
+                model.insert(
+                    block,
+                    ModelEntry {
+                        pins: 1,
+                        written: 0,
+                        filling: Some(event),
+                    },
+                );
+            }
+            Op::MarkPresent => {
+                let Some(entry) = model.get_mut(&block) else {
+                    continue;
+                };
+                let Some(event) = entry.filling.take() else {
+                    continue;
+                };
+                assert!(!event.is_set(), "fill event resolved before mark_present");
+                cache.mark_present(block);
+                assert!(event.is_set(), "mark_present did not resolve the fill");
+            }
+            Op::Unpin => {
+                let Some(entry) = model.get_mut(&block) else {
+                    continue;
+                };
+                if entry.pins == 0 {
+                    continue;
+                }
+                cache.unpin(block);
+                entry.pins -= 1;
+            }
+            Op::Write => {
+                let Some(entry) = model.get_mut(&block) else {
+                    continue;
+                };
+                entry.written += 64;
+                assert_eq!(cache.record_write(block, 64), entry.written);
+            }
+            Op::Clean => {
+                cache.mark_clean(block);
+                if let Some(entry) = model.get_mut(&block) {
+                    entry.written = 0;
+                }
+            }
+            Op::CompleteFlush => {
+                // Flush a 64-byte snapshot: the remainder must stay dirty.
+                cache.complete_flush(block, 64);
+                if let Some(entry) = model.get_mut(&block) {
+                    entry.written = entry.written.saturating_sub(64);
+                }
+            }
+        }
+
+        // Global invariants after every op.
+        assert_eq!(cache.len(), model.len(), "cache and model disagree");
+        assert_eq!(
+            cache.dirty_count(),
+            model.values().filter(|e| e.written > 0).count(),
+            "incremental dirty counter drifted from the model"
+        );
+        if cache.len() > capacity {
+            let over = (cache.len() - capacity) as u64;
+            assert!(
+                cache.stats().overflows >= over,
+                "{policy}: {} entries over capacity {} but only {} overflows recorded",
+                cache.len(),
+                capacity,
+                cache.stats().overflows
+            );
+        }
+        for (&b, _) in model.iter() {
+            assert!(cache.contains(b), "modeled block {b} missing from cache");
+        }
+    }
+
+    let s = cache.stats();
+    assert_eq!(
+        s.hits + s.misses,
+        lookups,
+        "every lookup is a hit or a miss"
+    );
+    assert!(
+        s.dirty_evictions <= s.evictions,
+        "dirty evictions are a subset of evictions"
+    );
+}
+
+fn arb_script() -> impl Strategy<Value = Vec<(u8, u64)>> {
+    proptest::collection::vec((0u8..=255, 0u64..12), 1..160)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn lru_cache_invariants(capacity in 1usize..6, script in arb_script()) {
+        run_script(ReplacementPolicy::Lru, capacity, &script);
+    }
+
+    #[test]
+    fn mru_cache_invariants(capacity in 1usize..6, script in arb_script()) {
+        run_script(ReplacementPolicy::Mru, capacity, &script);
+    }
+
+    #[test]
+    fn clock_cache_invariants(capacity in 1usize..6, script in arb_script()) {
+        run_script(ReplacementPolicy::Clock, capacity, &script);
+    }
+
+    /// Unpinned single-pass streams never outgrow the cache: with every
+    /// entry released before the next insert, `len` stays at or below
+    /// capacity and nothing ever overflows.
+    #[test]
+    fn released_streams_never_overflow(
+        policy_idx in 0usize..3,
+        capacity in 1usize..6,
+        blocks in proptest::collection::vec(0u64..64, 1..80),
+    ) {
+        let policy = ReplacementPolicy::ALL[policy_idx];
+        let mut cache = BlockCache::with_config(capacity, CacheConfig {
+            replacement: policy,
+            ..CacheConfig::DEFAULT
+        });
+        for &b in &blocks {
+            if cache.contains(b) {
+                if let Lookup::Hit(_) = cache.lookup(b) {
+                    cache.unpin(b);
+                }
+                continue;
+            }
+            let (_e, _) = cache.insert_filling(b, FillReason::Demand);
+            cache.mark_present(b);
+            cache.unpin(b);
+            prop_assert!(cache.len() <= capacity, "{} exceeded capacity", policy);
+        }
+        prop_assert_eq!(cache.stats().overflows, 0);
+    }
+}

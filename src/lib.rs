@@ -41,7 +41,8 @@ pub use ddio_patterns as patterns;
 pub use ddio_sim as sim;
 
 pub use ddio_core::{
-    run_transfer, AccessKind, AccessPattern, ArrayShape, Chunk, CollectiveError, CollectiveFile,
-    CostModel, Dist, FileLayout, LayoutPolicy, MachineConfig, Method, PatternInstance, SchedPolicy,
-    SchedSet, TransferOutcome,
+    run_transfer, AccessKind, AccessPattern, ArrayShape, CacheConfig, CacheFilter, CacheParams,
+    CacheSet, CacheStats, Chunk, CollectiveError, CollectiveFile, CostModel, Dist, FileLayout,
+    LayoutPolicy, MachineConfig, Method, PatternInstance, PrefetchPolicy, ReplacementPolicy,
+    SchedPolicy, SchedSet, TransferOutcome, WritePolicy,
 };
