@@ -6,7 +6,7 @@
 //! ddio-bench run <scenario>|all [--jobs N] [--format table|json|csv]
 //!                [--out FILE] [--trials N] [--seed N] [--file-mb N]
 //!                [--small-records 0|1] [--sched LIST] [--cache LIST]
-//!                [--cache-bufs N]
+//!                [--cache-bufs N] [--topology LIST] [--net LIST]
 //! ```
 //!
 //! The `DDIO_*` environment variables provide the defaults (see the crate
@@ -17,7 +17,7 @@ use std::io::Write;
 
 use ddio_core::experiment::pool;
 use ddio_core::experiment::scenario::{self, Scenario};
-use ddio_core::{CacheSet, SchedSet};
+use ddio_core::{CacheSet, ContentionSet, SchedSet, TopologySet};
 
 use crate::report::{self, ScenarioRun};
 use crate::Scale;
@@ -52,6 +52,11 @@ pub struct RunCommand {
     /// Cache compositions the `cache-sweep` scenario runs (all by default;
     /// other scenarios fix their own composition and ignore this).
     pub caches: CacheSet,
+    /// Topologies the `net-sweep` scenario runs (all by default; other
+    /// scenarios run the machine-wide fabric from `DDIO_NET_TOPOLOGY`).
+    pub topologies: TopologySet,
+    /// Contention models the `net-sweep` scenario runs (all by default).
+    pub contentions: ContentionSet,
 }
 
 const USAGE: &str = "\
@@ -78,9 +83,18 @@ OPTIONS (run):
                           (e.g. `mru,lru+strided`; default: all)
     --cache-bufs N        TC cache buffers per disk per CP (default:
                           env DDIO_CACHE_BUFS or 2)
+    --topology LIST       comma-separated topologies for the net-sweep
+                          scenario: torus|mesh|hypercube|crossbar
+                          (default: all)
+    --net LIST            comma-separated contention models for the
+                          net-sweep scenario: ni-only|link (default: all)
 
-Scenarios (see `ddio-bench list`): table1 fig3 fig4 fig5 fig6 fig7 fig8
-mixed-rw degraded-disk sched-sweep cache-sweep record-cp-cross";
+The machine-wide fabric of every other scenario comes from the environment:
+DDIO_NET_TOPOLOGY (default torus) and DDIO_NET_CONTENTION (default ni-only).
+
+Scenarios (see `ddio-bench list` for descriptions and headline results):
+table1 fig3 fig4 fig5 fig6 fig7 fig8 mixed-rw degraded-disk sched-sweep
+cache-sweep record-cp-cross net-sweep";
 
 fn usage_err(message: impl Into<String>) -> String {
     format!("{}\n\n{USAGE}", message.into())
@@ -113,6 +127,8 @@ pub fn parse_run(
     let mut scheds = SchedSet::all();
     let mut caches = CacheSet::all();
     let mut cache_bufs: Option<usize> = None;
+    let mut topologies = TopologySet::all();
+    let mut contentions = ContentionSet::all();
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -164,6 +180,16 @@ pub fn parse_run(
                 cache_bufs = Some(
                     parse_at_least_one("--cache-bufs", &flag_value("--cache-bufs")?)? as usize,
                 );
+            }
+            "--topology" => {
+                let v = flag_value("--topology")?;
+                topologies = TopologySet::parse_list(&v)
+                    .map_err(|e| usage_err(format!("--topology: {e}")))?;
+            }
+            "--net" => {
+                let v = flag_value("--net")?;
+                contentions =
+                    ContentionSet::parse_list(&v).map_err(|e| usage_err(format!("--net: {e}")))?;
             }
             "--small-records" => {
                 let v = flag_value("--small-records")?;
@@ -242,6 +268,8 @@ pub fn parse_run(
         scale,
         scheds,
         caches,
+        topologies,
+        contentions,
     })
 }
 
@@ -264,6 +292,13 @@ pub fn execute_run(cmd: &RunCommand) -> Result<String, String> {
             // Likewise for `--cache`; the cacheless DDIO baseline always
             // stays so filtered runs keep their comparison point.
             scenario_cells.retain(|c| c.method.cache().map_or(true, |cfg| cmd.caches.matches(cfg)));
+        }
+        if s.name == "net-sweep" {
+            // `--topology` / `--net` narrow the fabric sweep the same way.
+            scenario_cells.retain(|c| {
+                cmd.topologies.contains(c.config.fabric.topology)
+                    && cmd.contentions.contains(c.config.fabric.contention)
+            });
         }
         spans.push(scenario_cells.len());
         cells.extend(scenario_cells);
@@ -289,27 +324,33 @@ pub fn execute_run(cmd: &RunCommand) -> Result<String, String> {
     })
 }
 
-/// The registry listing printed by `ddio-bench list`.
+/// The registry listing printed by `ddio-bench list`: each scenario's name,
+/// the one-line question it answers, and its headline result, all sourced
+/// from the registry (the README's scenario catalog is generated from the
+/// same fields, so the two cannot drift apart).
 pub fn render_list() -> String {
     let mut out = String::from("Registered scenarios:\n");
     for s in scenario::registry() {
         out.push_str(&format!("  {:<16} {}\n", s.name, s.description));
+        out.push_str(&format!("  {:<16} -> {}\n", "", s.headline));
     }
     out
 }
 
 /// The registry listing as one JSON document (`ddio-bench list --format
 /// json`), so CI and scripts can enumerate scenarios without scraping the
-/// table. Schema: `{"scenarios":[{"name","title","description"}...]}`.
+/// table. Schema:
+/// `{"scenarios":[{"name","title","description","headline"}...]}`.
 pub fn render_list_json() -> String {
     let entries = scenario::registry()
         .iter()
         .map(|s| {
             format!(
-                "{{\"name\":\"{}\",\"title\":\"{}\",\"description\":\"{}\"}}",
+                "{{\"name\":\"{}\",\"title\":\"{}\",\"description\":\"{}\",\"headline\":\"{}\"}}",
                 report::json_escape(s.name),
                 report::json_escape(s.title),
-                report::json_escape(s.description)
+                report::json_escape(s.description),
+                report::json_escape(s.headline)
             )
         })
         .collect::<Vec<_>>()
@@ -513,6 +554,42 @@ mod tests {
     }
 
     #[test]
+    fn topology_and_net_flags_filter_the_fabric_sweep() {
+        use ddio_core::{ContentionModel, TopologyKind};
+        let cmd = parse_run(
+            &args(&[
+                "net-sweep",
+                "--topology",
+                "torus,crossbar",
+                "--net",
+                "link",
+                "--jobs",
+                "2",
+            ]),
+            smoke_env,
+        )
+        .unwrap();
+        assert!(cmd.topologies.contains(TopologyKind::Torus));
+        assert!(cmd.topologies.contains(TopologyKind::Crossbar));
+        assert!(!cmd.topologies.contains(TopologyKind::Mesh));
+        assert!(cmd.contentions.contains(ContentionModel::Link));
+        assert!(!cmd.contentions.contains(ContentionModel::NiOnly));
+        let out = execute_run(&cmd).unwrap();
+        assert!(out.contains("topology=torus net=link"));
+        assert!(out.contains("topology=crossbar net=link"));
+        assert!(
+            !out.contains("topology=mesh"),
+            "filtered topology still ran:\n{out}"
+        );
+        assert!(!out.contains("net=ni-only"), "filtered model ran:\n{out}");
+
+        let err = parse_run(&args(&["net-sweep", "--topology", "ring"]), smoke_env).unwrap_err();
+        assert!(err.contains("unknown topology"), "{err}");
+        let err = parse_run(&args(&["net-sweep", "--net", "flit"]), smoke_env).unwrap_err();
+        assert!(err.contains("unknown contention model"), "{err}");
+    }
+
+    #[test]
     fn cache_bufs_flag_resizes_the_cache() {
         let cmd = parse_run(&args(&["fig5", "--cache-bufs", "4"]), smoke_env).unwrap();
         assert_eq!(cmd.scale.cache_bufs, 4);
@@ -571,6 +648,59 @@ mod tests {
         let listing = render_list();
         for s in scenario::registry() {
             assert!(listing.contains(s.name), "missing {}", s.name);
+            assert!(
+                listing.contains(s.description),
+                "missing description of {}",
+                s.name
+            );
+            assert!(
+                listing.contains(s.headline),
+                "missing headline of {}",
+                s.name
+            );
         }
+        let json = render_list_json();
+        for s in scenario::registry() {
+            assert!(
+                json.contains(&format!(
+                    "\"headline\":\"{}\"",
+                    report::json_escape(s.headline)
+                )),
+                "JSON listing missing headline of {}",
+                s.name
+            );
+        }
+    }
+
+    /// The README's scenario catalog is generated from the registry; this
+    /// test is the generator's contract. If it fails, re-derive the table
+    /// from `ddio-bench list` — never hand-edit one side only.
+    #[test]
+    fn readme_catalog_matches_the_registry() {
+        let readme =
+            std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md"))
+                .expect("README.md at the workspace root");
+        for s in scenario::registry() {
+            let row = format!("| `{}` | {} | {} |", s.name, s.description, s.headline);
+            assert!(
+                readme.contains(&row),
+                "README catalog row for {:?} is missing or stale; expected:\n{row}",
+                s.name
+            );
+        }
+        // The catalog has no rows for unregistered scenarios.
+        let catalog = readme
+            .split("### Scenario catalog")
+            .nth(1)
+            .expect("README has a '### Scenario catalog' section")
+            .split("\n## ")
+            .next()
+            .expect("section text");
+        let catalog_rows = catalog.lines().filter(|l| l.starts_with("| `")).count();
+        assert_eq!(
+            catalog_rows,
+            scenario::registry().len(),
+            "README catalog has rows the registry does not"
+        );
     }
 }

@@ -19,12 +19,14 @@
 //! | `DDIO_SMALL_RECORDS` | `1`  | also run the 8-byte-record sweep (0 = skip) |
 //! | `DDIO_SEED`       | `1994`  | base random seed                          |
 //! | `DDIO_CACHE_BUFS` | `2`     | TC cache buffers per disk per CP (≥ 1)    |
+//! | `DDIO_NET_TOPOLOGY` | `torus` | interconnect topology: torus, mesh, hypercube, crossbar |
+//! | `DDIO_NET_CONTENTION` | `ni-only` | fabric contention model: ni-only or link |
 //!
 //! Zero or unparseable values are rejected at startup with a clear error
 //! (see [`Scale::from_env`]) instead of panicking mid-run.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cli;
 pub mod report;
@@ -32,7 +34,7 @@ pub mod report;
 use std::fmt;
 
 use ddio_core::experiment::scenario::{self, SweepParams};
-use ddio_core::MachineConfig;
+use ddio_core::{ContentionModel, MachineConfig, NetConfig, TopologyKind};
 
 /// Scaling knobs shared by the CLI and all figure binaries.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,6 +50,11 @@ pub struct Scale {
     /// Traditional-caching cache buffers per disk per CP (the paper's
     /// double-buffering default is 2).
     pub cache_bufs: usize,
+    /// Interconnect topology every scenario's machine runs on (the paper's
+    /// torus by default; the `net-sweep` scenario sweeps its own).
+    pub topology: TopologyKind,
+    /// Fabric contention model (NI-only by default).
+    pub contention: ContentionModel,
 }
 
 impl Default for Scale {
@@ -58,6 +65,8 @@ impl Default for Scale {
             small_records: true,
             seed: 1994,
             cache_bufs: 2,
+            topology: TopologyKind::Torus,
+            contention: ContentionModel::NiOnly,
         }
     }
 }
@@ -148,6 +157,20 @@ impl Scale {
             &mut cache_bufs,
         )?;
         s.cache_bufs = cache_bufs as usize;
+        if let Some(raw) = lookup("DDIO_NET_TOPOLOGY").filter(|v| !v.trim().is_empty()) {
+            s.topology = TopologyKind::parse(raw.trim()).ok_or_else(|| ScaleError {
+                var: "DDIO_NET_TOPOLOGY".to_owned(),
+                value: raw.clone(),
+                reason: "expected torus, mesh, hypercube, or crossbar",
+            })?;
+        }
+        if let Some(raw) = lookup("DDIO_NET_CONTENTION").filter(|v| !v.trim().is_empty()) {
+            s.contention = ContentionModel::parse(raw.trim()).ok_or_else(|| ScaleError {
+                var: "DDIO_NET_CONTENTION".to_owned(),
+                value: raw.clone(),
+                reason: "expected ni-only or link",
+            })?;
+        }
         Ok(s)
     }
 
@@ -160,13 +183,18 @@ impl Scale {
         })
     }
 
-    /// The Table 1 machine with this scale's file size and cache sizing.
+    /// The Table 1 machine with this scale's file size, cache sizing, and
+    /// interconnect fabric.
     pub fn base_config(&self) -> MachineConfig {
         MachineConfig {
             file_bytes: self.file_mib * 1024 * 1024,
             cache: ddio_core::CacheParams {
                 buffers_per_disk_per_cp: self.cache_bufs,
                 ..ddio_core::CacheParams::default()
+            },
+            fabric: NetConfig {
+                topology: self.topology,
+                contention: self.contention,
             },
             ..MachineConfig::default()
         }
@@ -250,6 +278,28 @@ mod tests {
         assert_eq!(s.seed, 42);
         assert_eq!(s.cache_bufs, 4);
         assert_eq!(s.base_config().cache.buffers_per_disk_per_cp, 4);
+    }
+
+    #[test]
+    fn net_knobs_select_the_fabric() {
+        let s = Scale::from_lookup(lookup_of(&[
+            ("DDIO_NET_TOPOLOGY", "mesh"),
+            ("DDIO_NET_CONTENTION", "link"),
+        ]))
+        .unwrap();
+        assert_eq!(s.topology, TopologyKind::Mesh);
+        assert_eq!(s.contention, ContentionModel::Link);
+        let fabric = s.base_config().fabric;
+        assert_eq!(fabric.topology, TopologyKind::Mesh);
+        assert_eq!(fabric.contention, ContentionModel::Link);
+        // Blank values keep the defaults; garbage is rejected at startup.
+        let s = Scale::from_lookup(lookup_of(&[("DDIO_NET_TOPOLOGY", " ")])).unwrap();
+        assert_eq!(s.topology, TopologyKind::Torus);
+        assert_eq!(s.base_config().fabric, NetConfig::DEFAULT);
+        let err = Scale::from_lookup(lookup_of(&[("DDIO_NET_TOPOLOGY", "ring")])).unwrap_err();
+        assert_eq!(err.var, "DDIO_NET_TOPOLOGY");
+        let err = Scale::from_lookup(lookup_of(&[("DDIO_NET_CONTENTION", "flit")])).unwrap_err();
+        assert_eq!(err.var, "DDIO_NET_CONTENTION");
     }
 
     #[test]

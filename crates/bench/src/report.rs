@@ -5,7 +5,9 @@
 //! JSON renderer escapes strings per RFC 8259 and refuses to emit NaN or
 //! infinity (they render as `null`), so the output always parses.
 
-use ddio_core::experiment::scenario::{aggregate, CellResult, Scenario, Summary, SweepParams};
+use ddio_core::experiment::scenario::{
+    aggregate, AxisValue, CellResult, Scenario, Summary, SweepParams,
+};
 
 use crate::Scale;
 
@@ -81,6 +83,46 @@ fn json_drives(r: &CellResult) -> String {
         .join(",")
 }
 
+/// The interconnect diagnostics of a cell's last trial: the fabric
+/// composition, per-node NI send/receive utilization, and — under the
+/// `link` contention model — per-link busy-time counters.
+fn json_net(r: &CellResult) -> String {
+    let outcome = &r.point.last_outcome;
+    let ni = outcome
+        .ni_send_utilization
+        .iter()
+        .zip(&outcome.ni_recv_utilization)
+        .enumerate()
+        .map(|(node, (send, recv))| {
+            format!(
+                "{{\"node\":{node},\"send_util\":{},\"recv_util\":{}}}",
+                json_f64(*send),
+                json_f64(*recv)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let links = outcome
+        .link_stats
+        .iter()
+        .map(|l| {
+            format!(
+                "{{\"from\":{},\"to\":{},\"messages\":{},\"busy_s\":{}}}",
+                l.from,
+                l.to,
+                l.messages,
+                json_f64(l.busy.as_secs_f64())
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"topology\":\"{}\",\"contention\":\"{}\",\"ni\":[{ni}],\"links\":[{links}]}}",
+        outcome.fabric.topology.name(),
+        outcome.fabric.contention.name()
+    )
+}
+
 /// The per-IOP cache counters of a cell's last trial (empty for cacheless
 /// methods like disk-directed I/O), one object per IOP that ran a cache.
 fn json_cache(r: &CellResult) -> String {
@@ -117,11 +159,11 @@ fn json_cell(r: &CellResult) -> String {
         .axes
         .iter()
         .map(|a| {
-            format!(
-                "{{\"name\":\"{}\",\"value\":{}}}",
-                json_escape(a.name),
-                a.value
-            )
+            let value = match a.value {
+                AxisValue::Num(v) => v.to_string(),
+                AxisValue::Name(s) => format!("\"{}\"", json_escape(s)),
+            };
+            format!("{{\"name\":\"{}\",\"value\":{value}}}", json_escape(a.name))
         })
         .collect::<Vec<_>>()
         .join(",");
@@ -140,7 +182,7 @@ fn json_cell(r: &CellResult) -> String {
         "{{\"pattern\":\"{}\",\"method\":\"{}\",\"sched\":\"{}\",\"cache_policies\":{},\
          \"record_bytes\":{},\
          \"layout\":\"{}\",\"axes\":[{}],\"seed\":{},\"trials\":[{}],\"summary\":{},\
-         \"hardware_limit_mibs\":{},\"drives\":[{}],\"cache\":[{}]}}",
+         \"hardware_limit_mibs\":{},\"drives\":[{}],\"cache\":[{}],\"net\":{}}}",
         json_escape(&r.point.pattern),
         json_escape(&r.point.method.label()),
         r.point.method.sched().name(),
@@ -153,7 +195,8 @@ fn json_cell(r: &CellResult) -> String {
         json_summary(&r.point.summary),
         json_f64(r.hardware_limit_mibs),
         json_drives(r),
-        json_cache(r)
+        json_cache(r),
+        json_net(r)
     )
 }
 
@@ -163,8 +206,12 @@ fn json_cell(r: &CellResult) -> String {
 /// fields emitted by this version, including each cell's `sched` policy
 /// name, its `cache_policies` composition label (`null` for cacheless
 /// methods), the per-drive `drives[]` queue-depth/utilization counters from
-/// its last trial, and the per-IOP `cache[]` hit/prefetch/flush counters
-/// (empty for cacheless methods).
+/// its last trial, the per-IOP `cache[]` hit/prefetch/flush counters (empty
+/// for cacheless methods), and the `net` object (fabric
+/// topology/contention, per-node NI `ni[]` send/receive utilization, and
+/// per-link `links[]` busy-time counters — links are empty under the
+/// default `ni-only` model). Axis values are numbers for numeric axes and
+/// strings for symbolic ones (e.g. `topology`).
 pub fn render_json(scale: &Scale, runs: &[ScenarioRun]) -> String {
     let mut out = String::from("{");
     out.push_str(&format!(
@@ -489,9 +536,35 @@ mod tests {
             "\"queue_depth_mean\"",
             "\"queue_depth_max\"",
             "\"utilization\"",
+            "\"net\"",
+            "\"topology\":\"torus\"",
+            "\"contention\":\"ni-only\"",
+            "\"send_util\"",
+            "\"recv_util\"",
+            "\"links\":[]",
         ] {
             assert!(json.contains(landmark), "missing {landmark}");
         }
+    }
+
+    #[test]
+    fn net_sweep_cells_carry_symbolic_axes_and_link_counters() {
+        let (_, run) = tiny_run("net-sweep");
+        let scale = Scale {
+            file_mib: 1,
+            trials: 1,
+            small_records: false,
+            seed: 7,
+            ..Scale::default()
+        };
+        let json = render_json(&scale, &[run]);
+        assert!(json_is_valid(&json), "invalid JSON:\n{json}");
+        // Symbolic axes render as JSON strings...
+        assert!(json.contains("{\"name\":\"topology\",\"value\":\"mesh\"}"));
+        assert!(json.contains("{\"name\":\"net\",\"value\":\"link\"}"));
+        // ...and the link model populates per-link busy counters.
+        assert!(json.contains("\"busy_s\""));
+        assert!(json.contains("\"contention\":\"link\""));
     }
 
     #[test]

@@ -105,8 +105,8 @@ pub enum PrefetchPolicy {
     #[default]
     OneAhead,
     /// Infer each disk stream's stride from consecutive demand reads and,
-    /// once the stride repeats, prefetch
-    /// [`StridedPrefetcher::DEPTH`] blocks ahead along it.
+    /// once the stride repeats, prefetch four blocks ahead along it (the
+    /// `StridedPrefetcher` pipeline depth).
     Strided,
 }
 

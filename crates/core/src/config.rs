@@ -11,6 +11,7 @@ use ddio_sim::SimDuration;
 
 pub use crate::cache::CacheConfig;
 pub use ddio_disk::{SchedPolicy, SchedSet};
+pub use ddio_net::{ContentionModel, ContentionSet, NetConfig, TopologyKind, TopologySet};
 
 /// Physical placement of the file's blocks on each disk (§5 of the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -240,8 +241,12 @@ pub struct MachineConfig {
     pub layout: LayoutPolicy,
     /// Disk-drive model parameters.
     pub disk: DiskParams,
-    /// Interconnect parameters.
+    /// Interconnect hardware parameters (bandwidth, router latency, DMA
+    /// setup).
     pub net: NetworkParams,
+    /// Interconnect policy composition: topology × contention model. The
+    /// default (`torus` + `ni-only`) is the paper's machine.
+    pub fabric: NetConfig,
     /// SCSI bus bandwidth in bytes per second.
     pub bus_bytes_per_sec: f64,
     /// SCSI bus per-transfer arbitration overhead.
@@ -270,6 +275,7 @@ impl Default for MachineConfig {
             layout: LayoutPolicy::RandomBlocks,
             disk: DiskParams::hp_97560(),
             net: NetworkParams::default(),
+            fabric: NetConfig::DEFAULT,
             bus_bytes_per_sec: ddio_disk::SCSI_BUS_BANDWIDTH,
             bus_arbitration: ddio_disk::SCSI_ARBITRATION,
             costs: CostModel::default(),

@@ -6,6 +6,24 @@
 //! exhibit and new sweep as a named list of independent cells — and the
 //! [`pool`] thread pool that executes those cells across all cores with
 //! deterministic, order-stable results.
+//!
+//! # Registry lookup
+//!
+//! Scenarios are found by their registry key; each entry carries the
+//! one-line question it answers and its headline result, the same metadata
+//! `ddio-bench list` and the README catalog render:
+//!
+//! ```
+//! use ddio_core::experiment::scenario;
+//!
+//! let fig5 = scenario::find("fig5").expect("a registered scenario");
+//! assert_eq!(fig5.title, "Figure 5: varying the number of CPs");
+//! assert!(!fig5.headline.is_empty());
+//!
+//! // The registry drives every listing; unknown names simply miss.
+//! assert!(scenario::registry().iter().any(|s| s.name == "net-sweep"));
+//! assert!(scenario::find("no-such-scenario").is_none());
+//! ```
 
 pub mod pool;
 pub mod scenario;

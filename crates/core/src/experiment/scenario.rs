@@ -10,9 +10,10 @@
 //! cores via [`pool::run_parallel`] without changing a single number.
 //!
 //! The registry captures Table 1 and Figures 3–8 of the paper plus new
-//! scenarios (mixed read/write phases, degraded disks, a record-size ×
-//! CP-count cross sweep); the `ddio-bench` CLI and the seven thin exhibit
-//! binaries are both driven from here.
+//! scenarios (mixed read/write phases, degraded disks, the scheduling /
+//! cache / interconnect-fabric policy sweeps, a record-size × CP-count
+//! cross sweep); the `ddio-bench` CLI and the seven thin exhibit binaries
+//! are both driven from here.
 //!
 //! [`pool::run_parallel`]: super::pool::run_parallel
 
@@ -20,25 +21,78 @@ use ddio_patterns::AccessPattern;
 pub use ddio_sim::stats::Summary;
 
 use crate::cache::{CacheConfig, PrefetchPolicy, ReplacementPolicy, WritePolicy};
-use crate::config::{CacheParams, LayoutPolicy, MachineConfig, Method, SchedPolicy};
+use crate::config::{
+    CacheParams, ContentionModel, LayoutPolicy, MachineConfig, Method, NetConfig, SchedPolicy,
+    TopologyKind,
+};
 use crate::experiment::pool;
 use crate::experiment::{
     format_pattern_table, format_sensitivity_table, run_data_point, DataPoint, SensitivityPoint,
 };
 
+/// The coordinate of one sweep-axis point: numeric for counts and sizes,
+/// symbolic for swept policy names (e.g. `topology=mesh` in the net sweep).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AxisValue {
+    /// A numeric coordinate (CP count, record size, buffer count, …).
+    Num(u64),
+    /// A symbolic coordinate (a policy name such as a topology).
+    Name(&'static str),
+}
+
+impl AxisValue {
+    /// The numeric coordinate, or `None` for symbolic axes.
+    pub fn as_u64(self) -> Option<u64> {
+        match self {
+            AxisValue::Num(v) => Some(v),
+            AxisValue::Name(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Display for AxisValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AxisValue::Num(v) => write!(f, "{v}"),
+            AxisValue::Name(s) => f.write_str(s),
+        }
+    }
+}
+
+impl PartialEq<u64> for AxisValue {
+    fn eq(&self, other: &u64) -> bool {
+        matches!(self, AxisValue::Num(v) if v == other)
+    }
+}
+
+impl From<u64> for AxisValue {
+    fn from(v: u64) -> AxisValue {
+        AxisValue::Num(v)
+    }
+}
+
+impl From<&'static str> for AxisValue {
+    fn from(s: &'static str) -> AxisValue {
+        AxisValue::Name(s)
+    }
+}
+
 /// One labelled point on a sweep axis, e.g. `cps = 8` in Figure 5.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Axis {
-    /// Axis name (`"cps"`, `"disks"`, `"record"`, …).
+    /// Axis name (`"cps"`, `"disks"`, `"record"`, `"topology"`, …).
     pub name: &'static str,
     /// The value of the varied parameter at this cell.
-    pub value: u64,
+    pub value: AxisValue,
 }
 
 impl Axis {
-    /// A new axis point.
-    pub fn new(name: &'static str, value: u64) -> Axis {
-        Axis { name, value }
+    /// A new axis point (numeric or symbolic).
+    pub fn new(name: &'static str, value: impl Into<AxisValue>) -> Axis {
+        Axis {
+            name,
+            value: value.into(),
+        }
     }
 }
 
@@ -137,14 +191,23 @@ pub enum Report {
 }
 
 /// A named, registered experiment.
+///
+/// The registry is the single source of truth for scenario metadata: the
+/// `ddio-bench list` output (plain and JSON) and the README's scenario
+/// catalog are both generated from the `name`/`description`/`headline`
+/// fields here, so they cannot drift apart silently.
 #[derive(Debug, Clone, Copy)]
 pub struct Scenario {
     /// Registry key (`"fig5"`, `"mixed-rw"`, …).
     pub name: &'static str,
     /// Heading printed above the report.
     pub title: &'static str,
-    /// One-line description for `ddio-bench list`.
+    /// One line on the question this scenario answers, for `ddio-bench
+    /// list` and the README catalog.
     pub description: &'static str,
+    /// One line on the headline result at snapshot scale (what the sweep
+    /// found, not just what it varies).
+    pub headline: &'static str,
     /// Report shape.
     pub report: Report,
     /// Expands the sweep parameters into this scenario's cells.
@@ -227,6 +290,7 @@ pub fn registry() -> Vec<Scenario> {
             name: "table1",
             title: "Table 1: Parameters for simulator",
             description: "machine parameters side by side with the paper's values",
+            headline: "the modelled machine reproduces Table 1 line by line",
             report: Report::MachineParameters,
             build: |_| Vec::new(),
             note: None,
@@ -235,6 +299,7 @@ pub fn registry() -> Vec<Scenario> {
             name: "fig3",
             title: "Figure 3: random-blocks disk layout",
             description: "TC vs DDIO vs DDIO(sort), all 19 patterns, random-blocks layout",
+            headline: "sorted DDIO beats TC decisively when blocks land at random",
             report: Report::PatternTables { figure: '3' },
             build: build_fig3,
             note: None,
@@ -243,6 +308,7 @@ pub fn registry() -> Vec<Scenario> {
             name: "fig4",
             title: "Figure 4: contiguous disk layout",
             description: "TC vs DDIO(sort), all 19 patterns, contiguous layout",
+            headline: "DDIO stays near the disk limit on every pattern; TC only on easy ones",
             report: Report::PatternTables { figure: '4' },
             build: build_fig4,
             note: Some(|p| {
@@ -256,6 +322,7 @@ pub fn registry() -> Vec<Scenario> {
             name: "fig5",
             title: "Figure 5: varying the number of CPs",
             description: "throughput vs CP count; contiguous layout, 8 KB records",
+            headline: "DDIO holds the disk limit at any CP count; TC sags as CPs multiply",
             report: Report::Sensitivity {
                 table_title:
                     "Throughput (MiB/s) vs number of CPs; contiguous layout, 8 KB records",
@@ -267,6 +334,7 @@ pub fn registry() -> Vec<Scenario> {
             name: "fig6",
             title: "Figure 6: varying the number of IOPs",
             description: "throughput vs IOP/bus count; 16 disks, contiguous layout",
+            headline: "throughput scales with IOPs/buses until the 16 disks saturate",
             report: Report::Sensitivity {
                 table_title:
                     "Throughput (MiB/s) vs number of IOPs; 16 disks, contiguous layout, 8 KB records",
@@ -278,6 +346,7 @@ pub fn registry() -> Vec<Scenario> {
             name: "fig7",
             title: "Figure 7: varying the number of disks, one IOP, contiguous layout",
             description: "throughput vs disk count on a single IOP/bus, contiguous layout",
+            headline: "one 10 MB/s bus caps the stack however many disks hang off it",
             report: Report::Sensitivity {
                 table_title:
                     "Throughput (MiB/s) vs number of disks; 1 IOP, contiguous layout, 8 KB records",
@@ -289,6 +358,7 @@ pub fn registry() -> Vec<Scenario> {
             name: "fig8",
             title: "Figure 8: varying the number of disks, one IOP, random-blocks layout",
             description: "throughput vs disk count on a single IOP/bus, random-blocks layout",
+            headline: "with random placement the seeks, not the bus, set the knee",
             report: Report::Sensitivity {
                 table_title:
                     "Throughput (MiB/s) vs number of disks; 1 IOP, random-blocks layout, 8 KB records",
@@ -300,6 +370,7 @@ pub fn registry() -> Vec<Scenario> {
             name: "mixed-rw",
             title: "Mixed read/write phases (out-of-core style)",
             description: "alternating collective read and write phases, TC vs DDIO(sort)",
+            headline: "DDIO's advantage persists across out-of-core read/write phases",
             report: Report::Flat,
             build: build_mixed_rw,
             note: None,
@@ -308,6 +379,7 @@ pub fn registry() -> Vec<Scenario> {
             name: "degraded-disk",
             title: "Degraded disks: read-ahead loss and slow mechanics",
             description: "healthy vs cache-less vs slow-mechanics drives, both methods",
+            headline: "DDIO degrades gracefully; TC leans harder on drive read-ahead",
             report: Report::Flat,
             build: build_degraded_disk,
             note: None,
@@ -316,6 +388,7 @@ pub fn registry() -> Vec<Scenario> {
             name: "sched-sweep",
             title: "Disk-scheduling policy sweep (random-blocks layout)",
             description: "FCFS vs SSTF vs CSCAN vs presort queues, TC and DDIO, fig5-style patterns",
+            headline: "drive-level CSCAN recovers much of presort's win; presort still leads",
             report: Report::Flat,
             build: build_sched_sweep,
             note: Some(|_| {
@@ -328,6 +401,7 @@ pub fn registry() -> Vec<Scenario> {
             name: "cache-sweep",
             title: "IOP cache policy sweep (random-blocks layout)",
             description: "replacement x prefetch x write-back compositions and cache sizes, TC vs DDIO(sort)",
+            headline: "watermark write-back ~doubles TC on the collective write, still loses to DDIO",
             report: Report::Flat,
             build: build_cache_sweep,
             note: Some(|_| {
@@ -340,9 +414,24 @@ pub fn registry() -> Vec<Scenario> {
             name: "record-cp-cross",
             title: "Record size x CP count cross sweep",
             description: "record sizes crossed with CP counts, rb pattern, both methods",
+            headline: "small records crush TC's per-request costs; DDIO shrugs them off",
             report: Report::Flat,
             build: build_record_cp_cross,
             note: None,
+        },
+        Scenario {
+            name: "net-sweep",
+            title: "Interconnect fabric sweep (topology x contention)",
+            description: "torus/mesh/hypercube/crossbar x ni-only/link fabrics, TC vs DDIO(sort)",
+            headline: "DDIO's rb win survives every multi-hop fabric; only the 1-hop crossbar rescues TC",
+            report: Report::Flat,
+            build: build_net_sweep,
+            note: Some(|_| {
+                "fig5-style patterns on the contiguous layout (disks near their peak, so the \
+                 fabric shows) for every topology x contention composition; torus+ni-only is \
+                 the paper's machine"
+                    .to_owned()
+            }),
         },
     ]
 }
@@ -690,6 +779,61 @@ fn build_cache_sweep(params: &SweepParams) -> Vec<Cell> {
     cells
 }
 
+/// The interconnect fabric sweep: every topology × contention-model
+/// composition for both file systems across the fig5-style patterns on the
+/// contiguous layout (where the disks run near their peak, so fabric costs
+/// are not drowned in seek time). The `torus+ni-only` cells are the paper's
+/// machine; the sweep asks whether disk-directed I/O's advantage survives a
+/// lower-degree fabric (mesh), a differently-wired one (hypercube), an
+/// ideal one (crossbar), and — under the `link` model — genuine link-level
+/// contention, where overlapping minimal routes serialize.
+fn build_net_sweep(params: &SweepParams) -> Vec<Cell> {
+    let methods = [Method::TC, Method::DDIO_SORTED];
+    let base = MachineConfig {
+        layout: LayoutPolicy::Contiguous,
+        ..params.base.clone()
+    };
+    let mut cells = Vec::new();
+    for pattern in AccessPattern::sensitivity_patterns() {
+        for topology in TopologyKind::ALL {
+            for contention in ContentionModel::ALL {
+                let config = MachineConfig {
+                    fabric: NetConfig {
+                        topology,
+                        contention,
+                    },
+                    ..base.clone()
+                };
+                for &method in &methods {
+                    cells.push(Cell {
+                        scenario: "net-sweep",
+                        config: config.clone(),
+                        method,
+                        pattern,
+                        record_bytes: 8192,
+                        axes: vec![
+                            Axis::new("topology", topology.name()),
+                            Axis::new("net", contention.name()),
+                        ],
+                        seed: derive_seed(
+                            params.seed,
+                            &[
+                                "net-sweep",
+                                &pattern.name(),
+                                &method.label(),
+                                topology.name(),
+                                contention.name(),
+                            ],
+                            &[],
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    cells
+}
+
 /// Record size crossed with CP count for the block-distributed read, the
 /// grid the paper's Figures 3 and 5 each slice one axis of.
 fn build_record_cp_cross(params: &SweepParams) -> Vec<Cell> {
@@ -776,7 +920,7 @@ pub fn format_report(scenario: &Scenario, params: &SweepParams, results: &[CellR
             let points: Vec<SensitivityPoint> = results
                 .iter()
                 .map(|r| SensitivityPoint {
-                    value: r.axes.first().map(|a| a.value as usize).unwrap_or(0),
+                    value: r.axes.first().and_then(|a| a.value.as_u64()).unwrap_or(0) as usize,
                     pattern: r.point.pattern.clone(),
                     method: r.point.method,
                     summary: r.point.summary.clone(),
@@ -883,7 +1027,10 @@ pub fn format_machine_table(config: &MachineConfig) -> String {
         (
             "Interconnect topology",
             "6x6 torus".into(),
-            "6x6 torus (fitted)".into(),
+            format!(
+                "{} (fitted)",
+                config.fabric.topology.build(config.n_nodes()).describe()
+            ),
         ),
         (
             "Interconnect bandwidth",
@@ -899,6 +1046,11 @@ pub fn format_machine_table(config: &MachineConfig) -> String {
             "Routing",
             "wormhole".into(),
             "wormhole latency model".into(),
+        ),
+        (
+            "Network contention",
+            "(above flit level: none)".into(),
+            format!("{} model", config.fabric.contention.name()),
         ),
         (
             "File size",
@@ -1047,7 +1199,10 @@ mod tests {
             assert_eq!(c.config.layout, LayoutPolicy::RandomBlocks);
             if let Some(axis) = c.axes.first() {
                 assert_eq!(axis.name, "bufs");
-                assert_eq!(c.config.cache.buffers_per_disk_per_cp, axis.value as usize);
+                assert_eq!(
+                    c.config.cache.buffers_per_disk_per_cp as u64,
+                    axis.value.as_u64().expect("numeric bufs axis")
+                );
             }
             // Cells carry the composition in the Method, never in the
             // machine config (which run_transfer would reject).
@@ -1063,6 +1218,7 @@ mod tests {
             "record-cp-cross",
             "sched-sweep",
             "cache-sweep",
+            "net-sweep",
         ] {
             let cells = (find(name).unwrap().build)(&tiny_params());
             assert!(!cells.is_empty(), "{name} built no cells");
@@ -1085,6 +1241,60 @@ mod tests {
             tired.controller_overhead,
             healthy.controller_overhead.times(4)
         );
+    }
+
+    #[test]
+    fn net_sweep_covers_every_fabric_for_both_methods() {
+        let cells = (find("net-sweep").unwrap().build)(&tiny_params());
+        // 4 sensitivity patterns x 4 topologies x 2 contention models x
+        // {TC, DDIO(sort)}.
+        assert_eq!(cells.len(), 4 * 4 * 2 * 2);
+        for topology in TopologyKind::ALL {
+            for contention in ContentionModel::ALL {
+                let fabric = NetConfig {
+                    topology,
+                    contention,
+                };
+                assert!(
+                    cells.iter().any(|c| c.config.fabric == fabric),
+                    "no cell for {}",
+                    fabric.label()
+                );
+            }
+        }
+        for c in &cells {
+            assert_eq!(c.config.layout, LayoutPolicy::Contiguous);
+            assert_eq!(c.axes.len(), 2);
+            assert_eq!(c.axes[0].name, "topology");
+            assert_eq!(
+                c.axes[0].value,
+                AxisValue::Name(c.config.fabric.topology.name())
+            );
+            assert_eq!(c.axes[1].name, "net");
+            assert_eq!(
+                c.axes[1].value,
+                AxisValue::Name(c.config.fabric.contention.name())
+            );
+        }
+    }
+
+    #[test]
+    fn axis_values_compare_and_render() {
+        assert_eq!(AxisValue::Num(8), 8u64);
+        assert_ne!(AxisValue::Name("mesh"), 8u64);
+        assert_eq!(AxisValue::Num(8).to_string(), "8");
+        assert_eq!(AxisValue::Name("mesh").to_string(), "mesh");
+        assert_eq!(AxisValue::Num(8).as_u64(), Some(8));
+        assert_eq!(AxisValue::Name("mesh").as_u64(), None);
+        assert_eq!(Axis::new("topology", "mesh").value, AxisValue::Name("mesh"));
+    }
+
+    #[test]
+    fn every_scenario_has_catalog_metadata() {
+        for s in registry() {
+            assert!(!s.description.is_empty(), "{} lacks a description", s.name);
+            assert!(!s.headline.is_empty(), "{} lacks a headline", s.name);
+        }
     }
 
     #[test]

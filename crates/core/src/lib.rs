@@ -23,7 +23,13 @@
 //! ([`PrefetchPolicy`]: none/one-ahead/strided), and write-back
 //! ([`WritePolicy`]: write-through/flush-on-full/high-watermark) policies,
 //! so the paper's "how much could smarter caching help?" question is a
-//! sweep (`cache-sweep`), not a rewrite.
+//! sweep (`cache-sweep`), not a rewrite. The interconnect is the third
+//! pluggable subsystem ([`NetConfig`] on [`MachineConfig::fabric`]): a
+//! [`TopologyKind`] (the paper's torus, or mesh / hypercube / crossbar)
+//! composed with a [`ContentionModel`] (`ni-only`, the paper's
+//! NI-bottleneck model, or `link`, which serializes overlapping routes on
+//! shared fabric links), so "when does the fabric itself become the
+//! bottleneck?" is the `net-sweep` scenario rather than a rewrite.
 //!
 //! On top sit the striped-file layout machinery ([`FileLayout`],
 //! [`LayoutPolicy`]), the user-facing collective API ([`CollectiveFile`]),
@@ -48,7 +54,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cache;
 mod collective;
@@ -66,8 +72,10 @@ pub use cache::{
 };
 pub use collective::{CollectiveError, CollectiveFile};
 pub use config::{
-    CacheParams, CostModel, LayoutPolicy, MachineConfig, Method, SchedPolicy, SchedSet,
+    CacheParams, ContentionModel, ContentionSet, CostModel, LayoutPolicy, MachineConfig, Method,
+    NetConfig, SchedPolicy, SchedSet, TopologyKind, TopologySet,
 };
+pub use ddio_net::LinkStat;
 pub use layout::{BlockLocation, FileLayout};
 pub use machine::{run_transfer, TransferOutcome, VerifyReport};
 pub use msg::FsMessage;

@@ -9,7 +9,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use ddio_disk::{spawn_disk, DiskHandle, DiskParams, DiskStats, ScsiBus};
-use ddio_net::{Envelope, Network, Torus};
+use ddio_net::{Envelope, LinkStat, NetConfig, Network};
 use ddio_patterns::{AccessPattern, PatternInstance};
 use ddio_sim::stats::throughput_mibs;
 use ddio_sim::sync::{Receiver, Resource};
@@ -133,6 +133,16 @@ pub struct TransferOutcome {
     pub messages: u64,
     /// Bytes that crossed the interconnect.
     pub network_bytes: u64,
+    /// The fabric composition the transfer ran on.
+    pub fabric: NetConfig,
+    /// Per-node sending-NI utilization over each NI's active window
+    /// (index = network node id; CPs first, then IOPs).
+    pub ni_send_utilization: Vec<f64>,
+    /// Per-node receiving-NI utilization over each NI's active window.
+    pub ni_recv_utilization: Vec<f64>,
+    /// Per-link busy-time counters, in deterministic `(from, to)` order
+    /// (empty under the `ni-only` contention model).
+    pub link_stats: Vec<LinkStat>,
     /// Per-disk statistics.
     pub disk_stats: Vec<DiskStats>,
     /// Per-disk utilization: busy time as a fraction of the whole transfer.
@@ -185,6 +195,20 @@ impl TransferOutcome {
             .unwrap_or(0)
     }
 
+    /// Total busy time summed over every fabric link, in seconds (zero
+    /// under the `ni-only` contention model, which never charges a link).
+    pub fn link_busy_total_secs(&self) -> f64 {
+        self.link_stats.iter().map(|l| l.busy.as_secs_f64()).sum()
+    }
+
+    /// The highest per-node receiving-NI utilization — the contention
+    /// hotspot diagnostic (an IOP hammered by every CP, or vice versa).
+    pub fn max_ni_recv_utilization(&self) -> f64 {
+        self.ni_recv_utilization
+            .iter()
+            .fold(0.0, |acc, &u| acc.max(u))
+    }
+
     /// Cache counters pooled over every IOP, or `None` when the method ran
     /// no cache (disk-directed I/O).
     pub fn cache_totals(&self) -> Option<CacheStats> {
@@ -229,13 +253,10 @@ pub fn run_transfer(
     let mut sim = Sim::new();
     let ctx = sim.context();
 
-    // Interconnect: CPs occupy nodes [0, n_cps), IOPs the next n_iops nodes.
-    let (net, mut inboxes) = Network::<FsMessage>::new(
-        ctx.clone(),
-        Torus::fitting(config.n_nodes()),
-        config.net,
-        config.n_nodes(),
-    );
+    // Interconnect: CPs occupy nodes [0, n_cps), IOPs the next n_iops nodes,
+    // placed on the configured fabric (the paper's torus by default).
+    let (net, mut inboxes) =
+        Network::<FsMessage>::new(ctx.clone(), config.fabric, config.net, config.n_nodes());
 
     let verify = config.verify.then(|| {
         Rc::new(RefCell::new(VerifyState {
@@ -374,6 +395,12 @@ pub fn run_transfer(
 
     let transferred_bytes = run.pattern.total_transfer_bytes();
     let cache_stats = run.cache_stats.borrow().clone();
+    let ni_send_utilization = (0..config.n_nodes())
+        .map(|n| net.send_utilization(n))
+        .collect();
+    let ni_recv_utilization = (0..config.n_nodes())
+        .map(|n| net.recv_utilization(n))
+        .collect();
     TransferOutcome {
         method,
         pattern: pattern.name(),
@@ -385,6 +412,10 @@ pub fn run_transfer(
         aggregate_mibs: throughput_mibs(transferred_bytes, elapsed),
         messages: net.messages_sent(),
         network_bytes: net.bytes_sent(),
+        fabric: config.fabric,
+        ni_send_utilization,
+        ni_recv_utilization,
+        link_stats: net.link_stats(),
         disk_stats,
         disk_utilization,
         bus_utilization,
@@ -513,6 +544,49 @@ mod tests {
         );
         assert!(outcome.cache_totals().is_none());
         assert!(outcome.cache_stats.iter().all(|s| s.is_none()));
+    }
+
+    #[test]
+    fn default_fabric_reports_ni_occupancy_but_no_links() {
+        let outcome = run_transfer(
+            &tiny_config(),
+            Method::DDIO,
+            AccessPattern::parse("rb").unwrap(),
+            8192,
+            1,
+        );
+        assert_eq!(outcome.fabric, NetConfig::DEFAULT);
+        assert!(outcome.link_stats.is_empty(), "ni-only charged a link");
+        assert_eq!(outcome.link_busy_total_secs(), 0.0);
+        assert_eq!(outcome.ni_send_utilization.len(), 4);
+        assert_eq!(outcome.ni_recv_utilization.len(), 4);
+        assert!(outcome.max_ni_recv_utilization() > 0.0);
+    }
+
+    #[test]
+    fn link_model_surfaces_per_link_counters() {
+        use crate::config::{ContentionModel, TopologyKind};
+        let mut config = tiny_config();
+        config.fabric = NetConfig {
+            topology: TopologyKind::Crossbar,
+            contention: ContentionModel::Link,
+        };
+        config.verify = true;
+        let outcome = run_transfer(
+            &config,
+            Method::DDIO,
+            AccessPattern::parse("rb").unwrap(),
+            8192,
+            1,
+        );
+        assert!(outcome.verify.as_ref().unwrap().complete);
+        assert!(outcome.throughput_mibs > 0.0);
+        assert!(!outcome.link_stats.is_empty(), "no link was ever charged");
+        assert!(outcome.link_busy_total_secs() > 0.0);
+        for l in &outcome.link_stats {
+            assert!(l.messages > 0);
+            assert_ne!(l.from, l.to);
+        }
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! * [`ScsiBus`] — the shared 10 MB/s bus between an IOP and its drives.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod bus;
 mod drive;

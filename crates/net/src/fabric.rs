@@ -1,0 +1,295 @@
+//! The interconnect's policy composition: which topology wires the routers
+//! together and which contention model the messages pay for it.
+//!
+//! Mirroring `DiskParams::sched` and the cache's `CacheConfig`, a
+//! [`NetConfig`] is the single knob that selects the fabric a machine runs:
+//! the default (`torus` + `ni-only`) reproduces the paper's machine
+//! bit-identically, while the alternatives ask when the fabric itself —
+//! rather than the per-node network interfaces — becomes the bottleneck.
+
+use crate::topology::TopologyKind;
+
+/// How messages contend for the fabric between the two network interfaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ContentionModel {
+    /// Only the per-node network interfaces serialize traffic; the fabric
+    /// between them is an ideal pipe charging pure head-flit latency (the
+    /// paper's simplification, and the default).
+    #[default]
+    NiOnly,
+    /// Each message additionally charges its serialization time on every
+    /// link of its minimal route, and overlapping routes serialize on the
+    /// shared links — a store-and-forward upper bound on fabric contention.
+    Link,
+}
+
+impl ContentionModel {
+    /// Every contention model, in a stable order (used by sweeps and CLI
+    /// listings).
+    pub const ALL: [ContentionModel; 2] = [ContentionModel::NiOnly, ContentionModel::Link];
+
+    /// The model's lower-case name as used by `--net` and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ContentionModel::NiOnly => "ni-only",
+            ContentionModel::Link => "link",
+        }
+    }
+
+    /// Parses a model name (the inverse of [`ContentionModel::name`]).
+    pub fn parse(s: &str) -> Option<ContentionModel> {
+        ContentionModel::ALL.into_iter().find(|m| m.name() == s)
+    }
+}
+
+impl std::fmt::Display for ContentionModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The interconnect's policy composition: topology × contention model.
+///
+/// Carried by the machine configuration the way `CacheParams` carries the
+/// cache policies; [`NetConfig::DEFAULT`] (`torus` + `ni-only`) is the
+/// paper's machine and is bit-identical to the pre-refactor hardwired
+/// fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct NetConfig {
+    /// The wiring of the routers.
+    pub topology: TopologyKind,
+    /// What messages pay for the fabric between the NIs.
+    pub contention: ContentionModel,
+}
+
+impl NetConfig {
+    /// The paper's fabric: a wormhole torus with NI-only contention.
+    pub const DEFAULT: NetConfig = NetConfig {
+        topology: TopologyKind::Torus,
+        contention: ContentionModel::NiOnly,
+    };
+
+    /// Short composition label, e.g. `"torus+ni-only"`.
+    pub fn label(self) -> String {
+        format!("{}+{}", self.topology.name(), self.contention.name())
+    }
+
+    /// Parses a `topology+contention` label (either half may be omitted, so
+    /// `"mesh"`, `"link"`, and `"mesh+link"` are all valid; `"default"` is
+    /// the paper's fabric). Pinning the same dimension twice
+    /// (`"mesh+torus"`, `"link+ni-only"`) is rejected rather than silently
+    /// letting the later name win — mirroring `CacheConfig::parse`, a
+    /// doubled dimension is always a mistake.
+    pub fn parse(s: &str) -> Result<NetConfig, String> {
+        if s.trim() == "default" {
+            return Ok(NetConfig::DEFAULT);
+        }
+        let mut topology: Option<TopologyKind> = None;
+        let mut contention: Option<ContentionModel> = None;
+        for part in s.split('+') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            if let Some(t) = TopologyKind::parse(part) {
+                if topology.is_some() {
+                    return Err(format!("{part:?} names the topology twice in {s:?}"));
+                }
+                topology = Some(t);
+            } else if let Some(m) = ContentionModel::parse(part) {
+                if contention.is_some() {
+                    return Err(format!(
+                        "{part:?} names the contention model twice in {s:?}"
+                    ));
+                }
+                contention = Some(m);
+            } else {
+                return Err(format!(
+                    "unknown fabric policy {part:?} (expected a topology: torus, mesh, \
+                     hypercube, crossbar; or a contention model: ni-only, link)"
+                ));
+            }
+        }
+        Ok(NetConfig {
+            topology: topology.unwrap_or_default(),
+            contention: contention.unwrap_or_default(),
+        })
+    }
+}
+
+impl std::fmt::Display for NetConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Defines a small, copyable bitset over one of the fabric's policy enums
+/// (one bit per variant), with the same surface as `ddio_disk::SchedSet`:
+/// `empty`/`all`/`insert`/`contains`/`is_empty`/`iter`/`parse_list`/`names`.
+macro_rules! policy_set {
+    (
+        $(#[$doc:meta])*
+        $set:ident of $kind:ident, $what:literal, $expected:literal
+    ) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub struct $set(u8);
+
+        impl $set {
+            /// The empty set.
+            pub const fn empty() -> $set {
+                $set(0)
+            }
+
+            #[doc = concat!("The set of every ", $what, ".")]
+            pub fn all() -> $set {
+                let mut s = $set::empty();
+                for k in $kind::ALL {
+                    s.insert(k);
+                }
+                s
+            }
+
+            #[doc = concat!("Adds a ", $what, " to the set.")]
+            pub fn insert(&mut self, k: $kind) {
+                self.0 |= 1 << (k as u8);
+            }
+
+            /// True if the set contains `k`.
+            pub fn contains(self, k: $kind) -> bool {
+                self.0 & (1 << (k as u8)) != 0
+            }
+
+            /// True if the set is empty.
+            pub fn is_empty(self) -> bool {
+                self.0 == 0
+            }
+
+            #[doc = concat!("The contained values, in [`", stringify!($kind), "::ALL`] order.")]
+            pub fn iter(self) -> impl Iterator<Item = $kind> {
+                $kind::ALL.into_iter().filter(move |&k| self.contains(k))
+            }
+
+            #[doc = concat!("Parses a comma-separated list of ", $what, " names.")]
+            pub fn parse_list(s: &str) -> Result<$set, String> {
+                let mut set = $set::empty();
+                for part in s.split(',') {
+                    let part = part.trim();
+                    if part.is_empty() {
+                        continue;
+                    }
+                    let k = $kind::parse(part).ok_or_else(|| {
+                        format!("unknown {} {part:?} (expected {})", $what, $expected)
+                    })?;
+                    set.insert(k);
+                }
+                if set.is_empty() {
+                    return Err(format!(
+                        "expected a comma-separated list of {} names: {}",
+                        $what, $expected
+                    ));
+                }
+                Ok(set)
+            }
+
+            /// The contained names, comma-separated.
+            pub fn names(self) -> String {
+                self.iter().map($kind::name).collect::<Vec<_>>().join(",")
+            }
+        }
+    };
+}
+
+policy_set! {
+    /// A small, copyable set of [`TopologyKind`] values (one bit per kind),
+    /// used by the `ddio-bench --topology` filter.
+    TopologySet of TopologyKind, "topology", "torus, mesh, hypercube, or crossbar"
+}
+
+policy_set! {
+    /// A small, copyable set of [`ContentionModel`] values, used by the
+    /// `ddio-bench --net` filter.
+    ContentionSet of ContentionModel, "contention model", "ni-only or link"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_paper_fabric() {
+        assert_eq!(NetConfig::default(), NetConfig::DEFAULT);
+        assert_eq!(NetConfig::DEFAULT.label(), "torus+ni-only");
+        assert_eq!(NetConfig::DEFAULT.topology, TopologyKind::Torus);
+        assert_eq!(NetConfig::DEFAULT.contention, ContentionModel::NiOnly);
+    }
+
+    #[test]
+    fn labels_and_names_round_trip() {
+        for topology in TopologyKind::ALL {
+            for contention in ContentionModel::ALL {
+                let config = NetConfig {
+                    topology,
+                    contention,
+                };
+                assert_eq!(NetConfig::parse(&config.label()), Ok(config));
+            }
+        }
+        assert_eq!(ContentionModel::parse("link"), Some(ContentionModel::Link));
+        assert_eq!(ContentionModel::parse("flit"), None);
+    }
+
+    #[test]
+    fn parse_accepts_partial_compositions() {
+        assert_eq!(
+            NetConfig::parse("mesh").unwrap(),
+            NetConfig {
+                topology: TopologyKind::Mesh,
+                ..NetConfig::DEFAULT
+            }
+        );
+        assert_eq!(
+            NetConfig::parse("link").unwrap(),
+            NetConfig {
+                contention: ContentionModel::Link,
+                ..NetConfig::DEFAULT
+            }
+        );
+        assert_eq!(NetConfig::parse("default").unwrap(), NetConfig::DEFAULT);
+        assert!(NetConfig::parse("banyan").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_doubled_dimensions() {
+        let err = NetConfig::parse("mesh+torus").unwrap_err();
+        assert!(err.contains("topology twice"), "{err}");
+        let err = NetConfig::parse("link+ni-only").unwrap_err();
+        assert!(err.contains("contention model twice"), "{err}");
+        // A topology plus a contention model is still one of each.
+        assert!(NetConfig::parse("crossbar+link").is_ok());
+    }
+
+    #[test]
+    fn topology_set_parses_and_filters() {
+        let set = TopologySet::parse_list("torus, crossbar").unwrap();
+        assert!(set.contains(TopologyKind::Torus));
+        assert!(set.contains(TopologyKind::Crossbar));
+        assert!(!set.contains(TopologyKind::Mesh));
+        assert_eq!(set.names(), "torus,crossbar");
+        assert!(TopologySet::parse_list("ring").is_err());
+        assert!(TopologySet::parse_list(" , ").is_err());
+        assert_eq!(TopologySet::all().iter().count(), 4);
+        assert!(TopologySet::empty().is_empty());
+    }
+
+    #[test]
+    fn contention_set_parses_and_filters() {
+        let set = ContentionSet::parse_list("link").unwrap();
+        assert!(set.contains(ContentionModel::Link));
+        assert!(!set.contains(ContentionModel::NiOnly));
+        assert_eq!(set.names(), "link");
+        assert!(ContentionSet::parse_list("wormhole").is_err());
+        assert_eq!(ContentionSet::all().iter().count(), 2);
+        assert!(ContentionSet::empty().is_empty());
+    }
+}

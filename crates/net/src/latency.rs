@@ -49,6 +49,13 @@ impl NetworkParams {
         self.router_latency * hops as u64
     }
 
+    /// Time a message occupies one fabric link while streaming across it
+    /// (no DMA setup — that is paid once at each NI), used by the link-level
+    /// contention model.
+    pub fn link_occupancy(&self, bytes: u64) -> SimDuration {
+        SimDuration::for_bytes(bytes, self.link_bytes_per_sec)
+    }
+
     /// End-to-end latency of an uncontended message.
     pub fn uncontended_latency(&self, bytes: u64, hops: usize) -> SimDuration {
         self.send_occupancy(bytes) + self.wire_latency(hops) + self.recv_dma_setup

@@ -1,23 +1,30 @@
 //! The message fabric: typed messages between nodes with modeled latency and
-//! per-node network-interface contention.
+//! configurable contention.
 //!
-//! Contention model: each node has one sending and one receiving DMA engine
-//! (network interface); a message occupies the sender's NI for its
-//! serialization time, crosses the torus paying the wormhole hop latency, and
-//! then occupies the receiver's NI while being deposited into memory. Per-link
-//! flit-level contention inside the torus is *not* modeled (see DESIGN.md §4);
+//! Contention is a policy ([`ContentionModel`]): under the default `ni-only`
+//! model each node has one sending and one receiving DMA engine (network
+//! interface); a message occupies the sender's NI for its serialization
+//! time, crosses the fabric paying the wormhole hop latency, and then
+//! occupies the receiver's NI while being deposited into memory — per-link
+//! contention inside the fabric is *not* modeled (see DESIGN.md §7), because
 //! the NIs are the bottleneck the paper's workloads actually stress (an IOP
 //! being hammered by requests from every CP, or a CP receiving Memputs from
-//! every IOP).
+//! every IOP). Under the `link` model each message additionally charges its
+//! serialization time on every link of its minimal route (a resource per
+//! directed link), so overlapping routes serialize and the fabric itself can
+//! become the bottleneck.
 
+use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use ddio_sim::stats::Counter;
 use ddio_sim::sync::{unbounded, Receiver, Resource, Sender};
-use ddio_sim::{SimContext, SimTime};
+use ddio_sim::{SimContext, SimDuration, SimTime};
 
+use crate::fabric::{ContentionModel, NetConfig};
 use crate::latency::NetworkParams;
-use crate::topology::{NodeId, Torus};
+use crate::topology::{Link, NodeId, Topology};
 
 /// A delivered message: payload plus transport metadata.
 #[derive(Debug)]
@@ -34,6 +41,20 @@ pub struct Envelope<M> {
     pub payload: M,
 }
 
+/// Usage counters of one directed router-to-router link (only populated
+/// under the [`ContentionModel::Link`] model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkStat {
+    /// Source router of the link.
+    pub from: NodeId,
+    /// Destination router of the link.
+    pub to: NodeId,
+    /// Messages that crossed the link.
+    pub messages: u64,
+    /// Total simulated time the link was occupied.
+    pub busy: SimDuration,
+}
+
 struct Endpoint<M> {
     send_nic: Resource,
     recv_nic: Resource,
@@ -42,9 +63,13 @@ struct Endpoint<M> {
 
 struct Shared<M> {
     ctx: SimContext,
-    topology: Torus,
+    config: NetConfig,
+    topology: Box<dyn Topology>,
     params: NetworkParams,
     endpoints: Vec<Endpoint<M>>,
+    /// One serializing resource per directed link, created on first use
+    /// (link model only). A `BTreeMap` so reporting order is deterministic.
+    links: RefCell<BTreeMap<Link, Resource>>,
     messages: Counter,
     bytes: Counter,
 }
@@ -65,24 +90,18 @@ impl<M> Clone for Network<M> {
 }
 
 impl<M: 'static> Network<M> {
-    /// Builds a network of `nodes` endpoints on the given torus and returns it
-    /// together with each node's inbox receiver (index = node id).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the torus has fewer positions than `nodes`.
+    /// Builds a network of `nodes` endpoints on the configured fabric and
+    /// returns it together with each node's inbox receiver (index = node
+    /// id). The topology is built to fit `nodes` (the paper's 32 processors
+    /// land on a 6x6 torus).
     pub fn new(
         ctx: SimContext,
-        topology: Torus,
+        config: NetConfig,
         params: NetworkParams,
         nodes: usize,
     ) -> (Self, Vec<Receiver<Envelope<M>>>) {
-        assert!(
-            topology.size() >= nodes,
-            "torus has {} positions but {} nodes requested",
-            topology.size(),
-            nodes
-        );
+        let topology = config.topology.build(nodes);
+        debug_assert!(topology.size() >= nodes);
         let mut endpoints = Vec::with_capacity(nodes);
         let mut inboxes = Vec::with_capacity(nodes);
         for node in 0..nodes {
@@ -97,9 +116,11 @@ impl<M: 'static> Network<M> {
         let net = Network {
             shared: Rc::new(Shared {
                 ctx,
+                config,
                 topology,
                 params,
                 endpoints,
+                links: RefCell::new(BTreeMap::new()),
                 messages: Counter::new(),
                 bytes: Counter::new(),
             }),
@@ -112,9 +133,14 @@ impl<M: 'static> Network<M> {
         self.shared.endpoints.len()
     }
 
-    /// The torus the nodes sit on.
-    pub fn topology(&self) -> Torus {
-        self.shared.topology
+    /// The fabric composition in use.
+    pub fn config(&self) -> NetConfig {
+        self.shared.config
+    }
+
+    /// The topology the nodes sit on.
+    pub fn topology(&self) -> &dyn Topology {
+        self.shared.topology.as_ref()
     }
 
     /// The hardware parameters in use.
@@ -133,7 +159,7 @@ impl<M: 'static> Network<M> {
     }
 
     /// Sends a message and waits until it has been deposited in the
-    /// destination node's inbox (sender NI serialization, wire latency,
+    /// destination node's inbox (sender NI serialization, fabric traversal,
     /// receiver NI deposit).
     ///
     /// # Panics
@@ -151,9 +177,7 @@ impl<M: 'static> Network<M> {
             .use_for(s.params.send_occupancy(bytes))
             .await;
 
-        // Head-flit latency across the torus.
-        let hops = s.topology.hops(from, to);
-        s.ctx.sleep(s.params.wire_latency(hops)).await;
+        self.traverse(from, to, bytes).await;
 
         // Occupy the receiving NI while the message is deposited in memory.
         s.endpoints[to]
@@ -161,25 +185,11 @@ impl<M: 'static> Network<M> {
             .use_for(s.params.recv_occupancy(bytes))
             .await;
 
-        s.messages.incr();
-        s.bytes.add(bytes);
-        let envelope = Envelope {
-            from,
-            to,
-            bytes,
-            sent_at,
-            payload,
-        };
-        // Inboxes are unbounded; failure means the receiving node was torn
-        // down while traffic was still in flight, which is a protocol bug.
-        s.endpoints[to]
-            .inbox
-            .try_send(envelope)
-            .unwrap_or_else(|_| panic!("node {to} dropped its inbox with traffic in flight"));
+        self.deliver(from, to, bytes, sent_at, payload);
     }
 
     /// Sends a message without waiting for delivery: the caller resumes once
-    /// the sending NI has finished serializing the message; the wire and
+    /// the sending NI has finished serializing the message; the fabric and
     /// receive-side costs are paid by a background task.
     ///
     /// This is the primitive used for "concurrent Memput / Memget messages to
@@ -197,27 +207,71 @@ impl<M: 'static> Network<M> {
 
         let net = self.clone();
         s.ctx.spawn(async move {
+            net.traverse(from, to, bytes).await;
             let s = &net.shared;
-            let hops = s.topology.hops(from, to);
-            s.ctx.sleep(s.params.wire_latency(hops)).await;
             s.endpoints[to]
                 .recv_nic
                 .use_for(s.params.recv_occupancy(bytes))
                 .await;
-            s.messages.incr();
-            s.bytes.add(bytes);
-            let envelope = Envelope {
-                from,
-                to,
-                bytes,
-                sent_at,
-                payload,
-            };
-            s.endpoints[to]
-                .inbox
-                .try_send(envelope)
-                .unwrap_or_else(|_| panic!("node {to} dropped its inbox with traffic in flight"));
+            net.deliver(from, to, bytes, sent_at, payload);
         });
+    }
+
+    /// Crosses the fabric from `from` to `to` per the contention model:
+    /// pure head-flit latency under `ni-only`, per-link serialization under
+    /// `link`.
+    async fn traverse(&self, from: NodeId, to: NodeId, bytes: u64) {
+        let s = &self.shared;
+        match s.config.contention {
+            ContentionModel::NiOnly => {
+                let hops = s.topology.hops(from, to);
+                s.ctx.sleep(s.params.wire_latency(hops)).await;
+            }
+            ContentionModel::Link => {
+                // The head flit pays one router latency per hop; the body
+                // then occupies each link of the minimal route for the
+                // message's serialization time, so overlapping routes
+                // serialize on their shared links.
+                let occupancy = s.params.link_occupancy(bytes);
+                for link in s.topology.route(from, to) {
+                    s.ctx.sleep(s.params.router_latency).await;
+                    let resource = self.link_resource(link);
+                    resource.use_for(occupancy).await;
+                }
+            }
+        }
+    }
+
+    /// The serializing resource of one directed link, created on first use.
+    fn link_resource(&self, link: Link) -> Resource {
+        let s = &self.shared;
+        s.links
+            .borrow_mut()
+            .entry(link)
+            .or_insert_with(|| {
+                Resource::new(s.ctx.clone(), &format!("link{}-{}", link.0, link.1), 1)
+            })
+            .clone()
+    }
+
+    /// Counts the message and pushes it into the destination inbox.
+    fn deliver(&self, from: NodeId, to: NodeId, bytes: u64, sent_at: SimTime, payload: M) {
+        let s = &self.shared;
+        s.messages.incr();
+        s.bytes.add(bytes);
+        let envelope = Envelope {
+            from,
+            to,
+            bytes,
+            sent_at,
+            payload,
+        };
+        // Inboxes are unbounded; failure means the receiving node was torn
+        // down while traffic was still in flight, which is a protocol bug.
+        s.endpoints[to]
+            .inbox
+            .try_send(envelope)
+            .unwrap_or_else(|_| panic!("node {to} dropped its inbox with traffic in flight"));
     }
 
     /// Utilization of a node's receiving NI over its active window.
@@ -229,21 +283,52 @@ impl<M: 'static> Network<M> {
     pub fn send_utilization(&self, node: NodeId) -> f64 {
         self.shared.endpoints[node].send_nic.utilization()
     }
+
+    /// Per-link usage counters, in deterministic `(from, to)` order. Empty
+    /// under the `ni-only` model (no link is ever charged) and for links no
+    /// message crossed.
+    pub fn link_stats(&self) -> Vec<LinkStat> {
+        self.shared
+            .links
+            .borrow()
+            .iter()
+            .map(|(&(from, to), r)| LinkStat {
+                from,
+                to,
+                messages: r.acquisitions(),
+                busy: r.busy_time(),
+            })
+            .collect()
+    }
+
+    /// Total busy time summed over every link (zero under `ni-only`).
+    pub fn link_busy_total(&self) -> SimDuration {
+        self.shared
+            .links
+            .borrow()
+            .values()
+            .map(Resource::busy_time)
+            .sum()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::topology::TopologyKind;
     use ddio_sim::Sim;
     use std::cell::Cell;
 
     fn build(sim: &Sim, nodes: usize) -> (Network<u64>, Vec<Receiver<Envelope<u64>>>) {
-        Network::new(
-            sim.context(),
-            Torus::fitting(nodes),
-            NetworkParams::default(),
-            nodes,
-        )
+        build_fabric(sim, nodes, NetConfig::DEFAULT)
+    }
+
+    fn build_fabric(
+        sim: &Sim,
+        nodes: usize,
+        config: NetConfig,
+    ) -> (Network<u64>, Vec<Receiver<Envelope<u64>>>) {
+        Network::new(sim.context(), config, NetworkParams::default(), nodes)
     }
 
     #[test]
@@ -276,6 +361,9 @@ mod tests {
         assert!(t > 80_000 && t < 90_000, "delivery at {t} ns");
         assert_eq!(net.messages_sent(), 1);
         assert_eq!(net.bytes_sent(), 8192);
+        // NI-only contention never touches a link resource.
+        assert!(net.link_stats().is_empty());
+        assert_eq!(net.config(), NetConfig::DEFAULT);
     }
 
     #[test]
@@ -304,6 +392,70 @@ mod tests {
         let min_secs = 7.0 * (1u64 << 20) as f64 / 200.0e6;
         assert!(end.as_secs_f64() >= min_secs);
         assert!(net.recv_utilization(0) > 0.9);
+    }
+
+    #[test]
+    fn link_model_charges_every_link_on_the_route() {
+        let mut sim = Sim::new();
+        let config = NetConfig {
+            contention: ContentionModel::Link,
+            ..NetConfig::DEFAULT
+        };
+        let (net, mut inboxes) = build_fabric(&sim, 4, config);
+        let rx = inboxes.remove(3);
+        // 4 nodes fit a 2x2 torus; 0 -> 3 is a 2-hop route.
+        assert_eq!(net.topology().hops(0, 3), 2);
+        {
+            let net = net.clone();
+            sim.spawn(async move {
+                net.send(0, 3, 8192, 1).await;
+            });
+        }
+        sim.spawn(async move {
+            rx.recv().await.expect("message arrives");
+        });
+        sim.run();
+        let stats = net.link_stats();
+        assert_eq!(stats.len(), 2, "one resource per route link: {stats:?}");
+        let per_link = NetworkParams::default().link_occupancy(8192);
+        for stat in &stats {
+            assert_eq!(stat.messages, 1);
+            assert_eq!(stat.busy, per_link);
+        }
+        assert_eq!(net.link_busy_total(), per_link * 2);
+    }
+
+    #[test]
+    fn overlapping_routes_serialize_on_shared_links() {
+        let mut sim = Sim::new();
+        let config = NetConfig {
+            topology: TopologyKind::Crossbar,
+            contention: ContentionModel::Link,
+        };
+        let (net, mut inboxes) = build_fabric(&sim, 4, config);
+        let rx = inboxes.remove(1);
+        // Two messages over the same crossbar link must serialize: total
+        // link busy time is twice one serialization.
+        for _ in 0..2 {
+            let net = net.clone();
+            sim.spawn(async move {
+                net.send(0, 1, 1 << 20, 0).await;
+            });
+        }
+        sim.spawn(async move {
+            let mut got = 0;
+            while got < 2 {
+                if rx.recv().await.is_some() {
+                    got += 1;
+                }
+            }
+        });
+        sim.run();
+        let stats = net.link_stats();
+        assert_eq!(stats.len(), 1, "a crossbar pair shares one link");
+        assert_eq!(stats[0].messages, 2);
+        let per_msg = NetworkParams::default().link_occupancy(1 << 20);
+        assert_eq!(stats[0].busy, per_msg * 2);
     }
 
     #[test]
@@ -377,6 +529,4 @@ mod tests {
         });
         sim.run();
     }
-
-    use std::cell::RefCell;
 }

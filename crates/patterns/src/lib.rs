@@ -16,7 +16,7 @@
 //!   CP memories, which is what a disk-directed IOP needs to route data.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod chunks;
 mod dist;

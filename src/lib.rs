@@ -6,7 +6,9 @@
 //!
 //! * [`sim`] — the deterministic discrete-event simulation engine.
 //! * [`disk`] — the HP 97560 disk model and SCSI bus.
-//! * [`net`] — the torus interconnect with Memput/Memget-style DMA messages.
+//! * [`net`] — the pluggable interconnect (torus / mesh / hypercube /
+//!   crossbar topologies, NI-only or link-level contention) with
+//!   Memput/Memget-style DMA messages.
 //! * [`patterns`] — HPF array-distribution access patterns.
 //! * [`core`] — the parallel file system: traditional caching, disk-directed
 //!   I/O, the collective API, and the experiment harness.
@@ -32,7 +34,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use ddio_core as core;
 pub use ddio_disk as disk;
@@ -42,7 +44,8 @@ pub use ddio_sim as sim;
 
 pub use ddio_core::{
     run_transfer, AccessKind, AccessPattern, ArrayShape, CacheConfig, CacheFilter, CacheParams,
-    CacheSet, CacheStats, Chunk, CollectiveError, CollectiveFile, CostModel, Dist, FileLayout,
-    LayoutPolicy, MachineConfig, Method, PatternInstance, PrefetchPolicy, ReplacementPolicy,
-    SchedPolicy, SchedSet, TransferOutcome, WritePolicy,
+    CacheSet, CacheStats, Chunk, CollectiveError, CollectiveFile, ContentionModel, ContentionSet,
+    CostModel, Dist, FileLayout, LayoutPolicy, LinkStat, MachineConfig, Method, NetConfig,
+    PatternInstance, PrefetchPolicy, ReplacementPolicy, SchedPolicy, SchedSet, TopologyKind,
+    TopologySet, TransferOutcome, WritePolicy,
 };
