@@ -73,10 +73,85 @@ fn bench_semaphore_contention(c: &mut Criterion) {
     });
 }
 
+/// Pure wake-queue churn: tasks that yield in a tight loop, no timers and no
+/// channels, so the cost measured is push/pop on the ready queue plus one
+/// poll per wake.
+fn bench_wake_queue(c: &mut Criterion) {
+    c.bench_function("simulator/wake_queue_yield_storm", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new();
+            let ctx = sim.context();
+            for _ in 0..100u64 {
+                let ctx = ctx.clone();
+                sim.spawn(async move {
+                    for _ in 0..100u64 {
+                        ctx.yield_now().await;
+                    }
+                });
+            }
+            sim.run()
+        });
+    });
+}
+
+/// Timer registration across widely spread deadlines: nanoseconds to seconds
+/// in one run, exercising every wheel level and the overflow heap rather
+/// than the near-future slots the throughput benches concentrate on.
+fn bench_timer_wheel_spread(c: &mut Criterion) {
+    c.bench_function("simulator/timer_wheel_spread", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new();
+            let ctx = sim.context();
+            for i in 0..500u64 {
+                let ctx = ctx.clone();
+                sim.spawn(async move {
+                    // 1 ns .. ~512 s: deadline magnitude doubles with the
+                    // task index bucket, hitting a different wheel level.
+                    let nanos = 1u64 << (i % 40);
+                    ctx.sleep(SimDuration::from_nanos(nanos)).await;
+                });
+            }
+            sim.run()
+        });
+    });
+}
+
+/// Spawn-path cost: create and drain thousands of trivial tasks, measuring
+/// slab slot reuse; the reset variant reuses one simulator's allocations the
+/// way the experiment harness does across trials.
+fn bench_spawn(c: &mut Criterion) {
+    c.bench_function("simulator/spawn_drain_5k", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new();
+            for i in 0..5_000u64 {
+                sim.spawn(async move {
+                    let _ = i;
+                });
+            }
+            sim.run()
+        });
+    });
+    c.bench_function("simulator/spawn_drain_5k_reset", |b| {
+        let mut sim = Sim::new();
+        b.iter(|| {
+            sim.reset();
+            for i in 0..5_000u64 {
+                sim.spawn(async move {
+                    let _ = i;
+                });
+            }
+            sim.run()
+        });
+    });
+}
+
 criterion_group!(
     benches,
     bench_timer_wheel,
     bench_channel_pipeline,
-    bench_semaphore_contention
+    bench_semaphore_contention,
+    bench_wake_queue,
+    bench_timer_wheel_spread,
+    bench_spawn
 );
 criterion_main!(benches);

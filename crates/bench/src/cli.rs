@@ -44,6 +44,9 @@ pub struct RunCommand {
     pub format: Format,
     /// Output file (stdout when `None`).
     pub out: Option<String>,
+    /// Report executor performance (events/sec and wall-clock) per cell and
+    /// for the whole run — the `BENCH_*.json` trajectory data.
+    pub perf: bool,
     /// Scaling knobs after environment + flag resolution.
     pub scale: Scale,
     /// Scheduling policies the `sched-sweep` scenario runs (all by default;
@@ -70,6 +73,9 @@ OPTIONS (run):
     --jobs N              worker threads (default: all cores)
     --format table|json|csv   output format (default: table)
     --out FILE            write the report to FILE instead of stdout
+    --perf                add executor perf (events, wall-clock, events/sec)
+                          per cell and for the whole run; wall-clock numbers
+                          are host-dependent and excluded from goldens
     --trials N            trials per data point (default: env DDIO_TRIALS or 5)
     --seed N              base random seed (default: env DDIO_SEED or 1994)
     --file-mb N           file size in MiB (default: env DDIO_FILE_MB or 10)
@@ -129,6 +135,7 @@ pub fn parse_run(
     let mut cache_bufs: Option<usize> = None;
     let mut topologies = TopologySet::all();
     let mut contentions = ContentionSet::all();
+    let mut perf = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -154,6 +161,7 @@ pub fn parse_run(
                 };
             }
             "--out" => out = Some(flag_value("--out")?),
+            "--perf" => perf = true,
             "--trials" => {
                 trials = Some(parse_at_least_one("--trials", &flag_value("--trials")?)? as usize);
             }
@@ -265,6 +273,7 @@ pub fn parse_run(
         jobs,
         format,
         out,
+        perf,
         scale,
         scheds,
         caches,
@@ -303,7 +312,9 @@ pub fn execute_run(cmd: &RunCommand) -> Result<String, String> {
         spans.push(scenario_cells.len());
         cells.extend(scenario_cells);
     }
+    let wall_start = std::time::Instant::now();
     let mut results = scenario::run_cells(cells, params.trials, cmd.jobs);
+    let wall_s = wall_start.elapsed().as_secs_f64();
     let mut runs = Vec::with_capacity(cmd.scenarios.len());
     for (s, span) in cmd.scenarios.iter().zip(spans) {
         let rest = results.split_off(span);
@@ -313,14 +324,28 @@ pub fn execute_run(cmd: &RunCommand) -> Result<String, String> {
         });
         results = rest;
     }
+    // Whole-run perf: wall-clock covers the parallel pass, so events/sec
+    // here is the machine's aggregate rate across all `--jobs` workers.
+    let perf = cmd.perf.then(|| {
+        let sim_events: u64 = runs
+            .iter()
+            .flat_map(|run| &run.results)
+            .map(|r| r.point.sim_events)
+            .sum();
+        report::RunPerf {
+            sim_events,
+            wall_s,
+            jobs: cmd.jobs,
+        }
+    });
     Ok(match cmd.format {
-        Format::Table => report::render_table(&params, &runs),
+        Format::Table => report::render_table(&params, &runs, perf.as_ref()),
         Format::Json => {
-            let mut s = report::render_json(&cmd.scale, &runs);
+            let mut s = report::render_json(&cmd.scale, &runs, perf.as_ref());
             s.push('\n');
             s
         }
-        Format::Csv => report::render_csv(&runs),
+        Format::Csv => report::render_csv(&runs, perf.is_some()),
     })
 }
 
@@ -633,6 +658,36 @@ mod tests {
         assert!(crate::report::json_is_valid(out.trim()), "bad JSON:\n{out}");
         assert!(out.contains("\"table1\""));
         assert!(out.contains("\"mixed-rw\""));
+    }
+
+    #[test]
+    fn perf_flag_adds_cell_and_run_totals() {
+        let cmd = parse_run(
+            &args(&["mixed-rw", "--perf", "--format", "json", "--jobs", "2"]),
+            smoke_env,
+        )
+        .unwrap();
+        assert!(cmd.perf);
+        let out = execute_run(&cmd).unwrap();
+        assert!(crate::report::json_is_valid(out.trim()), "bad JSON:\n{out}");
+        for landmark in [
+            "\"perf\"",
+            "\"sim_events\"",
+            "\"wall_s\"",
+            "\"events_per_sec\"",
+        ] {
+            assert!(out.contains(landmark), "missing {landmark}:\n{out}");
+        }
+
+        // The table format gets a human-readable footer...
+        let cmd = parse_run(&args(&["mixed-rw", "--perf"]), smoke_env).unwrap();
+        let out = execute_run(&cmd).unwrap();
+        assert!(out.contains("events/sec"), "no perf footer:\n{out}");
+
+        // ...and without the flag nothing perf-related leaks into the output.
+        let cmd = parse_run(&args(&["mixed-rw", "--format", "json"]), smoke_env).unwrap();
+        let out = execute_run(&cmd).unwrap();
+        assert!(!out.contains("\"perf\""), "perf emitted without --perf");
     }
 
     #[test]

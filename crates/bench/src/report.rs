@@ -19,6 +19,47 @@ pub struct ScenarioRun {
     pub results: Vec<CellResult>,
 }
 
+/// Whole-run executor performance, reported under `--perf`.
+///
+/// `wall_s` is the elapsed wall-clock of the parallel cell pass, so the
+/// derived events/sec is the machine's aggregate rate across all workers;
+/// per-cell rates (from each cell's own wall-clock) are single-threaded.
+pub struct RunPerf {
+    /// Executor events processed, summed over every cell and trial.
+    pub sim_events: u64,
+    /// Wall-clock seconds of the whole parallel pass.
+    pub wall_s: f64,
+    /// Worker threads the pass ran on.
+    pub jobs: usize,
+}
+
+impl RunPerf {
+    /// Aggregate events per second over the whole run.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.sim_events as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The per-cell perf object: deterministic event count plus host wall-clock
+/// and the derived single-threaded events/sec.
+fn json_cell_perf(r: &CellResult) -> String {
+    let events_per_sec = if r.point.host_wall_secs > 0.0 {
+        r.point.sim_events as f64 / r.point.host_wall_secs
+    } else {
+        0.0
+    };
+    format!(
+        "{{\"sim_events\":{},\"wall_s\":{},\"events_per_sec\":{}}}",
+        r.point.sim_events,
+        json_f64(r.point.host_wall_secs),
+        json_f64(events_per_sec)
+    )
+}
+
 /// Escapes `s` as the contents of a JSON string literal.
 pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -154,7 +195,7 @@ fn json_cache(r: &CellResult) -> String {
         .join(",")
 }
 
-fn json_cell(r: &CellResult) -> String {
+fn json_cell(r: &CellResult, perf: bool) -> String {
     let axes = r
         .axes
         .iter()
@@ -178,11 +219,16 @@ fn json_cell(r: &CellResult) -> String {
         Some(cfg) => format!("\"{}\"", json_escape(&cfg.label())),
         None => "null".to_owned(),
     };
+    let perf_field = if perf {
+        format!(",\"perf\":{}", json_cell_perf(r))
+    } else {
+        String::new()
+    };
     format!(
         "{{\"pattern\":\"{}\",\"method\":\"{}\",\"sched\":\"{}\",\"cache_policies\":{},\
          \"record_bytes\":{},\
          \"layout\":\"{}\",\"axes\":[{}],\"seed\":{},\"trials\":[{}],\"summary\":{},\
-         \"hardware_limit_mibs\":{},\"drives\":[{}],\"cache\":[{}],\"net\":{}}}",
+         \"hardware_limit_mibs\":{},\"drives\":[{}],\"cache\":[{}],\"net\":{}{}}}",
         json_escape(&r.point.pattern),
         json_escape(&r.point.method.label()),
         r.point.method.sched().name(),
@@ -196,7 +242,8 @@ fn json_cell(r: &CellResult) -> String {
         json_f64(r.hardware_limit_mibs),
         json_drives(r),
         json_cache(r),
-        json_net(r)
+        json_net(r),
+        perf_field
     )
 }
 
@@ -211,13 +258,25 @@ fn json_cell(r: &CellResult) -> String {
 /// topology/contention, per-node NI `ni[]` send/receive utilization, and
 /// per-link `links[]` busy-time counters — links are empty under the
 /// default `ni-only` model). Axis values are numbers for numeric axes and
-/// strings for symbolic ones (e.g. `topology`).
-pub fn render_json(scale: &Scale, runs: &[ScenarioRun]) -> String {
+/// strings for symbolic ones (e.g. `topology`). Under `--perf`, each cell
+/// additionally carries a `perf` object (`sim_events`, `wall_s`,
+/// `events_per_sec`) and the document a top-level `perf` object with the
+/// whole run's totals — the `BENCH_*.json` trajectory format.
+pub fn render_json(scale: &Scale, runs: &[ScenarioRun], perf: Option<&RunPerf>) -> String {
     let mut out = String::from("{");
     out.push_str(&format!(
         "\"scale\":{{\"file_mib\":{},\"trials\":{},\"small_records\":{},\"seed\":{}}},",
         scale.file_mib, scale.trials, scale.small_records, scale.seed
     ));
+    if let Some(p) = perf {
+        out.push_str(&format!(
+            "\"perf\":{{\"sim_events\":{},\"wall_s\":{},\"events_per_sec\":{},\"jobs\":{}}},",
+            p.sim_events,
+            json_f64(p.wall_s),
+            json_f64(p.events_per_sec()),
+            p.jobs
+        ));
+    }
     out.push_str("\"scenarios\":[");
     for (i, run) in runs.iter().enumerate() {
         if i > 0 {
@@ -226,7 +285,7 @@ pub fn render_json(scale: &Scale, runs: &[ScenarioRun]) -> String {
         let cells = run
             .results
             .iter()
-            .map(json_cell)
+            .map(|r| json_cell(r, perf.is_some()))
             .collect::<Vec<_>>()
             .join(",");
         let agg = match aggregate(&run.results) {
@@ -247,10 +306,16 @@ pub fn render_json(scale: &Scale, runs: &[ScenarioRun]) -> String {
 
 /// Renders a run as CSV: one header row, then one row per cell across all
 /// scenarios. Axes are packed as `name=value` pairs separated by `;`.
-pub fn render_csv(runs: &[ScenarioRun]) -> String {
+/// With `perf`, three columns (`sim_events,wall_s,events_per_sec`) are
+/// appended to every row.
+pub fn render_csv(runs: &[ScenarioRun], perf: bool) -> String {
     let mut out = String::from(
-        "scenario,pattern,method,record_bytes,layout,axes,seed,n_trials,mean_mibs,std_dev,cv,min,max,hardware_limit_mibs\n",
+        "scenario,pattern,method,record_bytes,layout,axes,seed,n_trials,mean_mibs,std_dev,cv,min,max,hardware_limit_mibs",
     );
+    if perf {
+        out.push_str(",sim_events,wall_s,events_per_sec");
+    }
+    out.push('\n');
     for run in runs {
         for r in &run.results {
             let axes = r
@@ -261,7 +326,7 @@ pub fn render_csv(runs: &[ScenarioRun]) -> String {
                 .join(";");
             let s = &r.point.summary;
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 run.scenario.name,
                 r.point.pattern,
                 r.point.method.label(),
@@ -277,14 +342,26 @@ pub fn render_csv(runs: &[ScenarioRun]) -> String {
                 s.max,
                 r.hardware_limit_mibs
             ));
+            if perf {
+                let rate = if r.point.host_wall_secs > 0.0 {
+                    r.point.sim_events as f64 / r.point.host_wall_secs
+                } else {
+                    0.0
+                };
+                out.push_str(&format!(
+                    ",{},{},{}",
+                    r.point.sim_events, r.point.host_wall_secs, rate
+                ));
+            }
+            out.push('\n');
         }
     }
     out
 }
 
 /// Renders a run as the human-readable text report (heading + tables per
-/// scenario).
-pub fn render_table(params: &SweepParams, runs: &[ScenarioRun]) -> String {
+/// scenario), with a perf footer under `--perf`.
+pub fn render_table(params: &SweepParams, runs: &[ScenarioRun], perf: Option<&RunPerf>) -> String {
     let mut out = String::new();
     for (i, run) in runs.iter().enumerate() {
         if i > 0 {
@@ -294,6 +371,15 @@ pub fn render_table(params: &SweepParams, runs: &[ScenarioRun]) -> String {
             &run.scenario,
             params,
             &run.results,
+        ));
+    }
+    if let Some(p) = perf {
+        out.push_str(&format!(
+            "\nperf: {} executor events in {:.3} s wall ({:.0} events/sec across {} jobs)\n",
+            p.sim_events,
+            p.wall_s,
+            p.events_per_sec(),
+            p.jobs
         ));
     }
     out
@@ -522,7 +608,7 @@ mod tests {
             seed: 7,
             ..Scale::default()
         };
-        let json = render_json(&scale, &[run]);
+        let json = render_json(&scale, &[run], None);
         assert!(json_is_valid(&json), "invalid JSON:\n{json}");
         for landmark in [
             "\"scale\"",
@@ -557,7 +643,7 @@ mod tests {
             seed: 7,
             ..Scale::default()
         };
-        let json = render_json(&scale, &[run]);
+        let json = render_json(&scale, &[run], None);
         assert!(json_is_valid(&json), "invalid JSON:\n{json}");
         // Symbolic axes render as JSON strings...
         assert!(json.contains("{\"name\":\"topology\",\"value\":\"mesh\"}"));
@@ -571,7 +657,7 @@ mod tests {
     fn table1_renders_with_empty_cells_and_null_aggregate() {
         let (_, run) = tiny_run("table1");
         let scale = Scale::default();
-        let json = render_json(&scale, &[run]);
+        let json = render_json(&scale, &[run], None);
         assert!(json_is_valid(&json));
         assert!(json.contains("\"cells\":[]"));
         assert!(json.contains("\"aggregate\":null"));
@@ -581,7 +667,7 @@ mod tests {
     fn csv_has_one_row_per_cell_plus_header() {
         let (_, run) = tiny_run("mixed-rw");
         let n = run.results.len();
-        let csv = render_csv(&[run]);
+        let csv = render_csv(&[run], false);
         assert_eq!(csv.lines().count(), n + 1);
         assert!(csv.starts_with("scenario,pattern,method"));
         assert!(csv.contains("phase=0"));
@@ -590,7 +676,7 @@ mod tests {
     #[test]
     fn table_render_includes_headings() {
         let (params, run) = tiny_run("degraded-disk");
-        let text = render_table(&params, &[run]);
+        let text = render_table(&params, &[run], None);
         assert!(text.contains("Degraded disks"));
         assert!(text.contains("degradation=2"));
     }

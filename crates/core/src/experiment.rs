@@ -32,7 +32,7 @@ use ddio_patterns::AccessPattern;
 use ddio_sim::stats::Summary;
 
 use crate::config::{LayoutPolicy, MachineConfig, Method};
-use crate::machine::{run_transfer, TransferOutcome};
+use crate::machine::{run_transfer_in, TransferOutcome};
 
 /// One data point: a (pattern, method, record size) cell averaged over
 /// several independent trials, exactly as in the paper's figures.
@@ -52,6 +52,11 @@ pub struct DataPoint {
     pub summary: Summary,
     /// The last trial's full outcome (for diagnostics).
     pub last_outcome: TransferOutcome,
+    /// Executor events processed, summed over all trials (deterministic).
+    pub sim_events: u64,
+    /// Host wall-clock seconds spent across all trials (non-deterministic;
+    /// surfaced only by `--perf` reporting, never in goldens).
+    pub host_wall_secs: f64,
 }
 
 impl DataPoint {
@@ -80,9 +85,23 @@ pub fn run_data_point(
     assert!(trials > 0, "need at least one trial");
     let mut throughputs = Vec::with_capacity(trials);
     let mut last = None;
+    let mut sim_events = 0u64;
+    let mut host_wall_secs = 0.0f64;
+    // One simulator serves every trial: `run_transfer_in` resets it between
+    // uses, so task-slot and timer-wheel allocations are paid once per cell.
+    let mut sim = ddio_sim::Sim::new();
     for t in 0..trials {
-        let outcome = run_transfer(config, method, pattern, record_bytes, base_seed + t as u64);
+        let outcome = run_transfer_in(
+            &mut sim,
+            config,
+            method,
+            pattern,
+            record_bytes,
+            base_seed + t as u64,
+        );
         throughputs.push(outcome.throughput_mibs);
+        sim_events += outcome.sim_events;
+        host_wall_secs += outcome.host_wall_secs;
         last = Some(outcome);
     }
     DataPoint {
@@ -93,6 +112,8 @@ pub fn run_data_point(
         summary: Summary::of(&throughputs),
         trials: throughputs,
         last_outcome: last.expect("at least one trial ran"),
+        sim_events,
+        host_wall_secs,
     }
 }
 
@@ -283,6 +304,7 @@ pub fn format_sensitivity_table(points: &[SensitivityPoint], title: &str) -> Str
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::machine::run_transfer;
     use ddio_sim::stats::Summary;
 
     fn tiny_config() -> MachineConfig {
@@ -340,6 +362,8 @@ mod tests {
             trials: vec![mean],
             summary: Summary::of(&[mean]),
             last_outcome: outcome.clone(),
+            sim_events: outcome.sim_events,
+            host_wall_secs: outcome.host_wall_secs,
         };
         let points = vec![
             mk("ra", Method::TC, 3.0),

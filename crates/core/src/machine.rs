@@ -154,6 +154,12 @@ pub struct TransferOutcome {
     pub cache_stats: Vec<Option<CacheStats>>,
     /// Data-placement verification (present only when `config.verify`).
     pub verify: Option<VerifyReport>,
+    /// Executor events processed during the transfer — a deterministic
+    /// measure of simulation work (task polls + timer firings).
+    pub sim_events: u64,
+    /// Host wall-clock seconds spent building and running the transfer.
+    /// Non-deterministic; reported only by perf tooling, never in goldens.
+    pub host_wall_secs: f64,
 }
 
 impl TransferOutcome {
@@ -238,6 +244,31 @@ pub fn run_transfer(
     record_bytes: u64,
     seed: u64,
 ) -> TransferOutcome {
+    let mut sim = Sim::new();
+    run_transfer_in(&mut sim, config, method, pattern, record_bytes, seed)
+}
+
+/// Runs one collective transfer on a caller-provided simulator.
+///
+/// The simulator is [`Sim::reset`] before use, so its task-slot and timer
+/// allocations are reused across transfers — the harness runs many trials
+/// and many cells back to back, and rebuilding the executor for each one
+/// was measurable overhead. Semantics are identical to [`run_transfer`].
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or the record size does not divide
+/// the file size.
+pub fn run_transfer_in(
+    sim: &mut Sim,
+    config: &MachineConfig,
+    method: Method,
+    pattern: AccessPattern,
+    record_bytes: u64,
+    seed: u64,
+) -> TransferOutcome {
+    let wall_start = std::time::Instant::now();
+    sim.reset();
     config.validate();
     assert!(
         config.file_bytes % record_bytes == 0,
@@ -250,7 +281,6 @@ pub fn run_transfer(
     let rng = SimRng::seed_from_u64(seed);
     let layout = Rc::new(FileLayout::generate(config, &rng.derive(0xD15C)));
 
-    let mut sim = Sim::new();
     let ctx = sim.context();
 
     // Interconnect: CPs occupy nodes [0, n_cps), IOPs the next n_iops nodes,
@@ -344,7 +374,7 @@ pub fn run_transfer(
     match method {
         Method::TraditionalCaching(sched, cache) => {
             tc::spawn_transfer(
-                &mut sim,
+                sim,
                 &ctx,
                 &run,
                 &cps,
@@ -356,16 +386,7 @@ pub fn run_transfer(
             );
         }
         Method::DiskDirected(sched) => {
-            ddio::spawn_transfer(
-                &mut sim,
-                &ctx,
-                &run,
-                &cps,
-                &iops,
-                cp_inboxes,
-                iop_inboxes,
-                sched,
-            );
+            ddio::spawn_transfer(sim, &ctx, &run, &cps, &iops, cp_inboxes, iop_inboxes, sched);
         }
     }
 
@@ -421,6 +442,8 @@ pub fn run_transfer(
         bus_utilization,
         cache_stats,
         verify: verify_report,
+        sim_events: sim.events_processed(),
+        host_wall_secs: wall_start.elapsed().as_secs_f64(),
     }
 }
 

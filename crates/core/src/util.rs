@@ -72,7 +72,7 @@ pub struct PendingCounter {
 #[derive(Default)]
 struct PendingInner {
     count: u64,
-    waiters: Vec<std::task::Waker>,
+    waiters: Vec<ddio_sim::TaskRef>,
 }
 
 impl PendingCounter {
@@ -134,7 +134,7 @@ impl std::future::Future for WaitIdle {
         if inner.count == 0 {
             std::task::Poll::Ready(())
         } else {
-            inner.waiters.push(cx.waker().clone());
+            inner.waiters.push(ddio_sim::TaskRef::capture(cx));
             std::task::Poll::Pending
         }
     }

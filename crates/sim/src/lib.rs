@@ -54,6 +54,6 @@ pub mod stats;
 pub mod sync;
 mod time;
 
-pub use executor::{join_all, JoinHandle, Sim, SimContext, Sleep, TaskId, YieldNow};
+pub use executor::{join_all, JoinHandle, Sim, SimContext, Sleep, TaskId, TaskRef, YieldNow};
 pub use rng::{mix64, SimRng};
 pub use time::{SimDuration, SimTime};

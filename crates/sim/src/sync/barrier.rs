@@ -7,13 +7,15 @@ use std::cell::RefCell;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
-use std::task::{Context, Poll, Waker};
+use std::task::{Context, Poll};
+
+use crate::TaskRef;
 
 struct Inner {
     parties: u64,
     arrived: u64,
     generation: u64,
-    waiters: Vec<Waker>,
+    waiters: Vec<TaskRef>,
 }
 
 /// A cyclic barrier for `parties` tasks.
@@ -127,7 +129,7 @@ impl Future for BarrierWait {
                         .inner
                         .borrow_mut()
                         .waiters
-                        .push(cx.waker().clone());
+                        .push(TaskRef::capture(cx));
                     return Poll::Pending;
                 }
                 WaitState::NotArrived => {

@@ -10,13 +10,15 @@ use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
-use std::task::{Context, Poll, Waker};
+use std::task::{Context, Poll};
+
+use crate::TaskRef;
 
 struct Inner<T> {
     queue: VecDeque<T>,
     capacity: Option<usize>,
-    recv_waiters: Vec<Waker>,
-    send_waiters: Vec<Waker>,
+    recv_waiters: Vec<TaskRef>,
+    send_waiters: Vec<TaskRef>,
     senders: usize,
     receivers: usize,
 }
@@ -176,7 +178,7 @@ impl<T> Future for Send<'_, T> {
                     .inner
                     .borrow_mut()
                     .send_waiters
-                    .push(cx.waker().clone());
+                    .push(TaskRef::capture(cx));
                 Poll::Pending
             }
         }
@@ -254,7 +256,7 @@ impl<T> Future for Recv<'_, T> {
         if inner.senders == 0 {
             return Poll::Ready(None);
         }
-        inner.recv_waiters.push(cx.waker().clone());
+        inner.recv_waiters.push(TaskRef::capture(cx));
         Poll::Pending
     }
 }
@@ -266,7 +268,7 @@ pub mod oneshot {
 
     struct OneInner<T> {
         value: Option<T>,
-        waker: Option<Waker>,
+        waker: Option<TaskRef>,
         sender_dropped: bool,
     }
 
@@ -332,7 +334,7 @@ pub mod oneshot {
             if inner.sender_dropped {
                 return Poll::Ready(None);
             }
-            inner.waker = Some(cx.waker().clone());
+            inner.waker = Some(TaskRef::capture(cx));
             Poll::Pending
         }
     }

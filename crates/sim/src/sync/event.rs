@@ -4,11 +4,13 @@ use std::cell::RefCell;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
-use std::task::{Context, Poll, Waker};
+use std::task::{Context, Poll};
+
+use crate::TaskRef;
 
 struct EventInner {
     set: bool,
-    waiters: Vec<Waker>,
+    waiters: Vec<TaskRef>,
 }
 
 /// A one-shot broadcast event: once [`Event::set`] is called, every current
@@ -81,7 +83,7 @@ impl Future for EventWait {
         if inner.set {
             Poll::Ready(())
         } else {
-            inner.waiters.push(cx.waker().clone());
+            inner.waiters.push(TaskRef::capture(cx));
             Poll::Pending
         }
     }
@@ -89,7 +91,7 @@ impl Future for EventWait {
 
 struct CountdownInner {
     remaining: u64,
-    waiters: Vec<Waker>,
+    waiters: Vec<TaskRef>,
 }
 
 /// A latch that opens after being counted down `n` times.
@@ -160,7 +162,7 @@ impl Future for CountdownWait {
         if inner.remaining == 0 {
             Poll::Ready(())
         } else {
-            inner.waiters.push(cx.waker().clone());
+            inner.waiters.push(TaskRef::capture(cx));
             Poll::Pending
         }
     }

@@ -5,13 +5,15 @@ use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
-use std::task::{Context, Poll, Waker};
+use std::task::{Context, Poll};
+
+use crate::TaskRef;
 
 struct Waiter {
     wants: u64,
     granted: bool,
     cancelled: bool,
-    waker: Option<Waker>,
+    waker: Option<TaskRef>,
 }
 
 struct Inner {
@@ -209,7 +211,7 @@ impl Future for Acquire {
                     released: false,
                 });
             }
-            w.waker = Some(cx.waker().clone());
+            w.waker = Some(TaskRef::capture(cx));
             return Poll::Pending;
         }
         let mut inner = this.sem.inner.borrow_mut();
@@ -228,7 +230,7 @@ impl Future for Acquire {
             wants: this.wants,
             granted: false,
             cancelled: false,
-            waker: Some(cx.waker().clone()),
+            waker: Some(TaskRef::capture(cx)),
         }));
         inner.waiters.push_back(Rc::clone(&waiter));
         drop(inner);

@@ -1,0 +1,76 @@
+//! Executor throughput smoke test (asim-style).
+//!
+//! Drives the runtime through its three hot paths — task spawning, timer
+//! registration/firing, and channel handoff — with a workload of roughly
+//! 100k events, and prints the measured events/sec so `--nocapture` runs
+//! double as a quick profile. The assertions are correctness-only (the
+//! numbers land in `BENCH_PR6.json` and the criterion benches instead):
+//! a wall-clock floor here would flake on loaded CI machines.
+
+use std::time::Instant;
+
+use ddio_sim::sync::unbounded;
+use ddio_sim::{Sim, SimDuration};
+
+/// Workers × rounds of sleep + send, one consumer per worker group: the mix
+/// a collective transfer produces (every request sleeps in the disk model
+/// and crosses at least one channel).
+fn spawn_sleep_channel_workload(sim: &mut Sim, workers: u64, rounds: u64) {
+    let ctx = sim.context();
+    let (tx, rx) = unbounded::<u64>();
+    for w in 0..workers {
+        let ctx = ctx.clone();
+        let tx = tx.clone();
+        sim.spawn(async move {
+            for r in 0..rounds {
+                // Deterministic pseudo-random spread of deadlines so the
+                // timer structure sees many distinct buckets.
+                ctx.sleep(SimDuration::from_nanos(
+                    (w * 2654435761 + r * 40503) % 50_000 + 1,
+                ))
+                .await;
+                tx.send(w * rounds + r).await.unwrap();
+            }
+        });
+    }
+    drop(tx);
+    let ctx2 = ctx.clone();
+    sim.spawn(async move {
+        let mut received = 0u64;
+        while let Some(_v) = rx.recv().await {
+            received += 1;
+            if received % 64 == 0 {
+                ctx2.yield_now().await;
+            }
+        }
+        assert_eq!(received, workers * rounds, "messages lost in flight");
+    });
+}
+
+#[test]
+fn executor_throughput_100k_events() {
+    let mut sim = Sim::new();
+    spawn_sleep_channel_workload(&mut sim, 800, 50);
+    let start = Instant::now();
+    let end = sim.run();
+    let wall = start.elapsed();
+    let events = sim.events_processed();
+    assert!(events >= 100_000, "workload too small: {events} events");
+    assert_eq!(sim.live_tasks(), 0, "tasks leaked after quiescence");
+    assert!(end.as_nanos() > 0);
+    eprintln!(
+        "speed_test: {events} events in {wall:?} ({:.0} events/sec)",
+        events as f64 / wall.as_secs_f64()
+    );
+}
+
+#[test]
+fn executor_throughput_is_deterministic() {
+    let run = || {
+        let mut sim = Sim::new();
+        spawn_sleep_channel_workload(&mut sim, 100, 20);
+        let end = sim.run();
+        (end, sim.events_processed())
+    };
+    assert_eq!(run(), run());
+}

@@ -223,6 +223,30 @@ pub mod strategy {
     tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
     tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
     tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+    /// Strategy produced by [`crate::prop_oneof!`]: each generation picks one of
+    /// the alternatives uniformly (the real proptest supports weights; this
+    /// shim does not).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Wraps a non-empty set of boxed alternatives.
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! requires alternatives");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
 }
 
 pub mod collection {
@@ -350,7 +374,9 @@ pub mod prelude {
 
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 
     /// Namespaced access to the strategy modules (`prop::collection::vec`,
     /// `prop::sample::select`, `prop::bool::ANY`), as in real proptest.
@@ -477,6 +503,19 @@ macro_rules! prop_assert_ne {
     ($left:expr, $right:expr, $($fmt:tt)+) => {{
         let (l, r) = (&$left, &$right);
         $crate::prop_assert!(l != r, $($fmt)+);
+    }};
+}
+
+/// Picks uniformly among several strategies that generate the same type
+/// (often via `.prop_map` into a common enum). Unlike real proptest the
+/// alternatives are unweighted.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        let options: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = vec![$(::std::boxed::Box::new($strategy)),+];
+        $crate::strategy::Union::new(options)
     }};
 }
 
