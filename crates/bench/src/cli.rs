@@ -17,7 +17,7 @@ use std::io::Write;
 
 use ddio_core::experiment::pool;
 use ddio_core::experiment::scenario::{self, Scenario};
-use ddio_core::{CacheSet, ContentionSet, SchedSet, TopologySet};
+use ddio_core::{CacheSet, ContentionSet, FaultSet, RedundancySet, SchedSet, TopologySet};
 
 use crate::report::{self, ScenarioRun};
 use crate::Scale;
@@ -60,6 +60,11 @@ pub struct RunCommand {
     pub topologies: TopologySet,
     /// Contention models the `net-sweep` scenario runs (all by default).
     pub contentions: ContentionSet,
+    /// Fault policies the `fault-sweep` scenario runs (all by default;
+    /// other scenarios use the machine-wide `DDIO_FAULT_POLICY`).
+    pub fault_policies: FaultSet,
+    /// Redundancy policies the `fault-sweep` scenario runs (all by default).
+    pub redundancies: RedundancySet,
 }
 
 const USAGE: &str = "\
@@ -94,13 +99,21 @@ OPTIONS (run):
                           (default: all)
     --net LIST            comma-separated contention models for the
                           net-sweep scenario: ni-only|link (default: all)
+    --faults LIST         comma-separated fault policies for the fault-sweep
+                          scenario: none|cacheless|worn|transient|failure
+                          (default: all)
+    --redundancy LIST     comma-separated redundancy policies for the
+                          fault-sweep scenario: none|mirror|parity
+                          (default: all)
 
 The machine-wide fabric of every other scenario comes from the environment:
-DDIO_NET_TOPOLOGY (default torus) and DDIO_NET_CONTENTION (default ni-only).
+DDIO_NET_TOPOLOGY (default torus) and DDIO_NET_CONTENTION (default ni-only);
+likewise DDIO_FAULT_POLICY (default none) and DDIO_FAULT_REDUNDANCY (default
+none) set every other scenario's fault composition.
 
 Scenarios (see `ddio-bench list` for descriptions and headline results):
 table1 fig3 fig4 fig5 fig6 fig7 fig8 mixed-rw degraded-disk sched-sweep
-cache-sweep record-cp-cross net-sweep";
+cache-sweep record-cp-cross net-sweep fault-sweep";
 
 fn usage_err(message: impl Into<String>) -> String {
     format!("{}\n\n{USAGE}", message.into())
@@ -135,6 +148,8 @@ pub fn parse_run(
     let mut cache_bufs: Option<usize> = None;
     let mut topologies = TopologySet::all();
     let mut contentions = ContentionSet::all();
+    let mut fault_policies = FaultSet::all();
+    let mut redundancies = RedundancySet::all();
     let mut perf = false;
 
     let mut it = args.iter();
@@ -198,6 +213,16 @@ pub fn parse_run(
                 let v = flag_value("--net")?;
                 contentions =
                     ContentionSet::parse_list(&v).map_err(|e| usage_err(format!("--net: {e}")))?;
+            }
+            "--faults" => {
+                let v = flag_value("--faults")?;
+                fault_policies =
+                    FaultSet::parse_list(&v).map_err(|e| usage_err(format!("--faults: {e}")))?;
+            }
+            "--redundancy" => {
+                let v = flag_value("--redundancy")?;
+                redundancies = RedundancySet::parse_list(&v)
+                    .map_err(|e| usage_err(format!("--redundancy: {e}")))?;
             }
             "--small-records" => {
                 let v = flag_value("--small-records")?;
@@ -279,6 +304,8 @@ pub fn parse_run(
         caches,
         topologies,
         contentions,
+        fault_policies,
+        redundancies,
     })
 }
 
@@ -307,6 +334,13 @@ pub fn execute_run(cmd: &RunCommand) -> Result<String, String> {
             scenario_cells.retain(|c| {
                 cmd.topologies.contains(c.config.fabric.topology)
                     && cmd.contentions.contains(c.config.fabric.contention)
+            });
+        }
+        if s.name == "fault-sweep" {
+            // `--faults` / `--redundancy` narrow the fault sweep the same way.
+            scenario_cells.retain(|c| {
+                cmd.fault_policies.contains(c.config.faults)
+                    && cmd.redundancies.contains(c.config.redundancy)
             });
         }
         spans.push(scenario_cells.len());
@@ -612,6 +646,46 @@ mod tests {
         assert!(err.contains("unknown topology"), "{err}");
         let err = parse_run(&args(&["net-sweep", "--net", "flit"]), smoke_env).unwrap_err();
         assert!(err.contains("unknown contention model"), "{err}");
+    }
+
+    #[test]
+    fn fault_flags_filter_the_sweep() {
+        use ddio_core::{FaultPolicy, RedundancyPolicy};
+        let cmd = parse_run(
+            &args(&[
+                "fault-sweep",
+                "--faults",
+                "none,failure",
+                "--redundancy",
+                "none,mirror",
+                "--jobs",
+                "2",
+            ]),
+            smoke_env,
+        )
+        .unwrap();
+        assert!(cmd.fault_policies.contains(FaultPolicy::None));
+        assert!(cmd.fault_policies.contains(FaultPolicy::Failure));
+        assert!(!cmd.fault_policies.contains(FaultPolicy::Transient));
+        assert!(cmd.redundancies.contains(RedundancyPolicy::Mirrored));
+        assert!(!cmd.redundancies.contains(RedundancyPolicy::Parity));
+        let out = execute_run(&cmd).unwrap();
+        assert!(out.contains("faults=failure redundancy=mirror"));
+        assert!(out.contains("faults=none redundancy=none"));
+        assert!(
+            !out.contains("faults=transient"),
+            "filtered policy still ran:\n{out}"
+        );
+        assert!(
+            !out.contains("redundancy=parity"),
+            "filtered redundancy still ran:\n{out}"
+        );
+
+        let err = parse_run(&args(&["fault-sweep", "--faults", "meteor"]), smoke_env).unwrap_err();
+        assert!(err.contains("unknown fault policy"), "{err}");
+        let err =
+            parse_run(&args(&["fault-sweep", "--redundancy", "raid9"]), smoke_env).unwrap_err();
+        assert!(err.contains("unknown redundancy policy"), "{err}");
     }
 
     #[test]

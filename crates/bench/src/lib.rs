@@ -21,6 +21,8 @@
 //! | `DDIO_CACHE_BUFS` | `2`     | TC cache buffers per disk per CP (≥ 1)    |
 //! | `DDIO_NET_TOPOLOGY` | `torus` | interconnect topology: torus, mesh, hypercube, crossbar |
 //! | `DDIO_NET_CONTENTION` | `ni-only` | fabric contention model: ni-only or link |
+//! | `DDIO_FAULT_POLICY` | `none` | machine-wide fault injection: none, cacheless, worn, transient, failure |
+//! | `DDIO_FAULT_REDUNDANCY` | `none` | redundant block placement: none, mirror, parity |
 //!
 //! Zero or unparseable values are rejected at startup with a clear error
 //! (see [`Scale::from_env`]) instead of panicking mid-run.
@@ -34,7 +36,9 @@ pub mod report;
 use std::fmt;
 
 use ddio_core::experiment::scenario::{self, SweepParams};
-use ddio_core::{ContentionModel, MachineConfig, NetConfig, TopologyKind};
+use ddio_core::{
+    ContentionModel, FaultPolicy, MachineConfig, NetConfig, RedundancyPolicy, TopologyKind,
+};
 
 /// Scaling knobs shared by the CLI and all figure binaries.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,6 +59,11 @@ pub struct Scale {
     pub topology: TopologyKind,
     /// Fabric contention model (NI-only by default).
     pub contention: ContentionModel,
+    /// Machine-wide fault-injection policy (healthy by default; the
+    /// `fault-sweep` scenario sweeps its own).
+    pub faults: FaultPolicy,
+    /// Machine-wide redundant block placement (none by default).
+    pub redundancy: RedundancyPolicy,
 }
 
 impl Default for Scale {
@@ -67,6 +76,8 @@ impl Default for Scale {
             cache_bufs: 2,
             topology: TopologyKind::Torus,
             contention: ContentionModel::NiOnly,
+            faults: FaultPolicy::None,
+            redundancy: RedundancyPolicy::None,
         }
     }
 }
@@ -171,6 +182,20 @@ impl Scale {
                 reason: "expected ni-only or link",
             })?;
         }
+        if let Some(raw) = lookup("DDIO_FAULT_POLICY").filter(|v| !v.trim().is_empty()) {
+            s.faults = FaultPolicy::parse(raw.trim()).ok_or_else(|| ScaleError {
+                var: "DDIO_FAULT_POLICY".to_owned(),
+                value: raw.clone(),
+                reason: "expected none, cacheless, worn, transient, or failure",
+            })?;
+        }
+        if let Some(raw) = lookup("DDIO_FAULT_REDUNDANCY").filter(|v| !v.trim().is_empty()) {
+            s.redundancy = RedundancyPolicy::parse(raw.trim()).ok_or_else(|| ScaleError {
+                var: "DDIO_FAULT_REDUNDANCY".to_owned(),
+                value: raw.clone(),
+                reason: "expected none, mirror, or parity",
+            })?;
+        }
         Ok(s)
     }
 
@@ -196,6 +221,8 @@ impl Scale {
                 topology: self.topology,
                 contention: self.contention,
             },
+            faults: self.faults,
+            redundancy: self.redundancy,
             ..MachineConfig::default()
         }
     }
@@ -300,6 +327,27 @@ mod tests {
         assert_eq!(err.var, "DDIO_NET_TOPOLOGY");
         let err = Scale::from_lookup(lookup_of(&[("DDIO_NET_CONTENTION", "flit")])).unwrap_err();
         assert_eq!(err.var, "DDIO_NET_CONTENTION");
+    }
+
+    #[test]
+    fn fault_knobs_select_the_composition() {
+        let s = Scale::from_lookup(lookup_of(&[
+            ("DDIO_FAULT_POLICY", "transient"),
+            ("DDIO_FAULT_REDUNDANCY", "mirror"),
+        ]))
+        .unwrap();
+        assert_eq!(s.faults, FaultPolicy::Transient);
+        assert_eq!(s.redundancy, RedundancyPolicy::Mirrored);
+        let config = s.base_config();
+        assert_eq!(config.faults, FaultPolicy::Transient);
+        assert_eq!(config.redundancy, RedundancyPolicy::Mirrored);
+        // Blank keeps the healthy defaults; garbage is rejected at startup.
+        let s = Scale::from_lookup(lookup_of(&[("DDIO_FAULT_POLICY", " ")])).unwrap();
+        assert_eq!(s.faults, FaultPolicy::None);
+        let err = Scale::from_lookup(lookup_of(&[("DDIO_FAULT_POLICY", "meteor")])).unwrap_err();
+        assert_eq!(err.var, "DDIO_FAULT_POLICY");
+        let err = Scale::from_lookup(lookup_of(&[("DDIO_FAULT_REDUNDANCY", "raid9")])).unwrap_err();
+        assert_eq!(err.var, "DDIO_FAULT_REDUNDANCY");
     }
 
     #[test]

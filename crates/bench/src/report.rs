@@ -89,6 +89,29 @@ fn json_f64(v: f64) -> String {
     }
 }
 
+/// Escapes one CSV field per RFC 4180: a field containing a comma, quote,
+/// or line break is wrapped in double quotes with embedded quotes doubled.
+/// Every other field passes through unchanged, so output that never needed
+/// quoting is byte-identical to what this renderer always produced.
+fn csv_field(s: &str) -> String {
+    if s.contains(['"', ',', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Renders an `f64` for a CSV cell: `null` for NaN/infinity, mirroring
+/// [`json_f64`], so a pathological column never rots into a bare `NaN`
+/// token that most CSV readers refuse to type.
+fn csv_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
 fn json_summary(s: &Summary) -> String {
     format!(
         "{{\"n\":{},\"mean\":{},\"std_dev\":{},\"cv\":{},\"min\":{},\"max\":{}}}",
@@ -224,22 +247,34 @@ fn json_cell(r: &CellResult, perf: bool) -> String {
     } else {
         String::new()
     };
+    let outcome = &r.point.last_outcome;
+    let fault = format!(
+        "{{\"events_fired\":{},\"reconstruction_reads\":{},\"degraded_s\":{},\"lost_blocks\":{}}}",
+        outcome.fault_stats.events_fired,
+        outcome.fault_stats.reconstruction_reads,
+        json_f64(outcome.fault_stats.degraded_secs),
+        outcome.fault_stats.lost_blocks
+    );
     format!(
         "{{\"pattern\":\"{}\",\"method\":\"{}\",\"sched\":\"{}\",\"cache_policies\":{},\
          \"record_bytes\":{},\
-         \"layout\":\"{}\",\"axes\":[{}],\"seed\":{},\"trials\":[{}],\"summary\":{},\
-         \"hardware_limit_mibs\":{},\"drives\":[{}],\"cache\":[{}],\"net\":{}{}}}",
+         \"layout\":\"{}\",\"faults\":\"{}\",\"redundancy\":\"{}\",\
+         \"axes\":[{}],\"seed\":{},\"trials\":[{}],\"summary\":{},\
+         \"hardware_limit_mibs\":{},\"fault\":{},\"drives\":[{}],\"cache\":[{}],\"net\":{}{}}}",
         json_escape(&r.point.pattern),
         json_escape(&r.point.method.label()),
         r.point.method.sched().name(),
         cache_policies,
         r.point.record_bytes,
         r.point.layout.short_name(),
+        outcome.faults.name(),
+        outcome.redundancy.name(),
         axes,
         r.seed,
         trials,
         json_summary(&r.point.summary),
         json_f64(r.hardware_limit_mibs),
+        fault,
         json_drives(r),
         json_cache(r),
         json_net(r),
@@ -254,7 +289,10 @@ fn json_cell(r: &CellResult, perf: bool) -> String {
 /// name, its `cache_policies` composition label (`null` for cacheless
 /// methods), the per-drive `drives[]` queue-depth/utilization counters from
 /// its last trial, the per-IOP `cache[]` hit/prefetch/flush counters (empty
-/// for cacheless methods), and the `net` object (fabric
+/// for cacheless methods), the cell's `faults`/`redundancy` policy names
+/// with a `fault` counter object (`events_fired`, `reconstruction_reads`,
+/// `degraded_s`, `lost_blocks` — all zero under the default healthy
+/// composition), and the `net` object (fabric
 /// topology/contention, per-node NI `ni[]` send/receive utilization, and
 /// per-link `links[]` busy-time counters — links are empty under the
 /// default `ni-only` model). Axis values are numbers for numeric axes and
@@ -327,20 +365,20 @@ pub fn render_csv(runs: &[ScenarioRun], perf: bool) -> String {
             let s = &r.point.summary;
             out.push_str(&format!(
                 "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
-                run.scenario.name,
-                r.point.pattern,
-                r.point.method.label(),
+                csv_field(run.scenario.name),
+                csv_field(&r.point.pattern),
+                csv_field(&r.point.method.label()),
                 r.point.record_bytes,
-                r.point.layout.short_name(),
-                axes,
+                csv_field(r.point.layout.short_name()),
+                csv_field(&axes),
                 r.seed,
                 s.n,
-                s.mean,
-                s.std_dev,
-                s.cv(),
-                s.min,
-                s.max,
-                r.hardware_limit_mibs
+                csv_f64(s.mean),
+                csv_f64(s.std_dev),
+                csv_f64(s.cv()),
+                csv_f64(s.min),
+                csv_f64(s.max),
+                csv_f64(r.hardware_limit_mibs)
             ));
             if perf {
                 let rate = if r.point.host_wall_secs > 0.0 {
@@ -350,7 +388,9 @@ pub fn render_csv(runs: &[ScenarioRun], perf: bool) -> String {
                 };
                 out.push_str(&format!(
                     ",{},{},{}",
-                    r.point.sim_events, r.point.host_wall_secs, rate
+                    r.point.sim_events,
+                    csv_f64(r.point.host_wall_secs),
+                    csv_f64(rate)
                 ));
             }
             out.push('\n');
@@ -623,6 +663,9 @@ mod tests {
             "\"queue_depth_max\"",
             "\"utilization\"",
             "\"net\"",
+            "\"faults\":\"none\"",
+            "\"redundancy\":\"none\"",
+            "\"fault\":{\"events_fired\":0,\"reconstruction_reads\":0,\"degraded_s\":0,\"lost_blocks\":0}",
             "\"topology\":\"torus\"",
             "\"contention\":\"ni-only\"",
             "\"send_util\"",
@@ -671,6 +714,27 @@ mod tests {
         assert_eq!(csv.lines().count(), n + 1);
         assert!(csv.starts_with("scenario,pattern,method"));
         assert!(csv.contains("phase=0"));
+    }
+
+    #[test]
+    fn csv_fields_with_commas_quotes_or_breaks_are_rfc4180_quoted() {
+        // An axis name like "record,sorted" must survive as one field.
+        assert_eq!(csv_field("record,sorted=8192"), "\"record,sorted=8192\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_field("two\nlines"), "\"two\nlines\"");
+        // Fields that never needed quoting pass through untouched, so the
+        // renderer's historical output is byte-stable.
+        assert_eq!(csv_field("degradation=2;phase=0"), "degradation=2;phase=0");
+    }
+
+    #[test]
+    fn csv_floats_never_render_a_bare_nan() {
+        assert_eq!(csv_f64(f64::NAN), "null");
+        assert_eq!(csv_f64(f64::INFINITY), "null");
+        assert_eq!(csv_f64(2.5), "2.5");
+        let (_, run) = tiny_run("mixed-rw");
+        let csv = render_csv(&[run], false);
+        assert!(!csv.contains("NaN"), "bare NaN leaked into CSV:\n{csv}");
     }
 
     #[test]

@@ -10,6 +10,7 @@ use ddio_net::NetworkParams;
 use ddio_sim::SimDuration;
 
 pub use crate::cache::CacheConfig;
+pub use crate::fault::{FaultPolicy, RedundancyPolicy};
 pub use ddio_disk::{SchedPolicy, SchedSet};
 pub use ddio_net::{ContentionModel, ContentionSet, NetConfig, TopologyKind, TopologySet};
 
@@ -257,6 +258,12 @@ pub struct MachineConfig {
     pub cache: CacheParams,
     /// Disk-directed I/O: buffers per disk (the paper uses two).
     pub ddio_buffers_per_disk: usize,
+    /// Fault-injection policy: which deterministic failure schedule the
+    /// transfer runs under. The default (`none`) injects nothing.
+    pub faults: FaultPolicy,
+    /// Redundancy policy: how the layout places spare copies and how reads
+    /// recover from a dead drive. The default (`none`) places nothing.
+    pub redundancy: RedundancyPolicy,
     /// When true, every CP records the byte ranges it received/sent so tests
     /// can verify data placement. Adds memory overhead; off for benchmarks.
     pub verify: bool,
@@ -281,6 +288,8 @@ impl Default for MachineConfig {
             costs: CostModel::default(),
             cache: CacheParams::default(),
             ddio_buffers_per_disk: 2,
+            faults: FaultPolicy::default(),
+            redundancy: RedundancyPolicy::default(),
             verify: false,
         }
     }
@@ -391,6 +400,31 @@ impl MachineConfig {
             self.cache.buffers_per_disk_per_cp >= 1,
             "traditional caching needs at least one buffer per disk per CP"
         );
+        match self.redundancy {
+            RedundancyPolicy::None => {}
+            RedundancyPolicy::Mirrored => {
+                assert!(
+                    self.n_disks % 2 == 0,
+                    "mirrored pairs need an even number of disks, not {}",
+                    self.n_disks
+                );
+            }
+            RedundancyPolicy::Parity => {
+                assert!(
+                    self.n_disks >= 2,
+                    "parity needs at least two disks to separate data from parity"
+                );
+            }
+        }
+        if self.redundancy != RedundancyPolicy::None {
+            // Each disk holds its primary blocks plus (at most) as many
+            // redundant blocks again.
+            assert!(
+                2 * per_disk_blocks <= disk_capacity_blocks,
+                "redundant copies do not fit: {per_disk_blocks} primary blocks per disk \
+                 plus copies, but capacity is {disk_capacity_blocks}"
+            );
+        }
     }
 }
 

@@ -60,8 +60,14 @@ impl IopServer {
         let costs = self.run.config.costs;
         let bytes = self.block_bytes(job.block);
         self.parts.cpu.use_for(costs.ddio_block_cpu).await;
-        disk.io(DiskRequest::read(job.start_sector, self.sectors_for(bytes)))
+        let breakdown = disk
+            .io(DiskRequest::read(job.start_sector, self.sectors_for(bytes)))
             .await;
+        if breakdown.failed {
+            self.run
+                .recover_block_read(job.block, self.parts.node)
+                .await;
+        }
         self.parts.bus.transfer(bytes).await;
 
         let (bstart, bend) = self.run.layout.block_byte_range(job.block);
@@ -117,11 +123,21 @@ impl IopServer {
         arrived.wait().await;
 
         self.parts.bus.transfer(bytes).await;
-        disk.io(DiskRequest::write(
-            job.start_sector,
-            self.sectors_for(bytes),
-        ))
-        .await;
+        let breakdown = disk
+            .io(DiskRequest::write(
+                job.start_sector,
+                self.sectors_for(bytes),
+            ))
+            .await;
+        if breakdown.failed {
+            self.run
+                .redirect_failed_write(job.block, self.parts.node, bytes)
+                .await;
+        } else {
+            self.run
+                .redundant_write(job.block, self.parts.node, bytes)
+                .await;
+        }
         self.run.record_file_bytes(bstart, bend - bstart);
     }
 
@@ -276,6 +292,9 @@ pub(crate) fn spawn_transfer(
                             server.run_collective(task_ctx, cp, op, sched).await;
                         });
                     }
+                    // Reconstruction data: the recovering task awaited the
+                    // delivery itself; nothing to route.
+                    FsMessage::Reconstructed { .. } => {}
                     FsMessage::MemgetReply { id, .. } => {
                         let waiter = server.pending_gets.borrow_mut().remove(&id);
                         match waiter {

@@ -22,8 +22,8 @@ pub use ddio_sim::stats::Summary;
 
 use crate::cache::{CacheConfig, PrefetchPolicy, ReplacementPolicy, WritePolicy};
 use crate::config::{
-    CacheParams, ContentionModel, LayoutPolicy, MachineConfig, Method, NetConfig, SchedPolicy,
-    TopologyKind,
+    CacheParams, ContentionModel, FaultPolicy, LayoutPolicy, MachineConfig, Method, NetConfig,
+    RedundancyPolicy, SchedPolicy, TopologyKind,
 };
 use crate::experiment::pool;
 use crate::experiment::{
@@ -433,6 +433,20 @@ pub fn registry() -> Vec<Scenario> {
                     .to_owned()
             }),
         },
+        Scenario {
+            name: "fault-sweep",
+            title: "Fault injection and redundancy sweep",
+            description: "static degradations, transient storms, and a drive death x none/mirror/parity, TC vs DDIO(sort)",
+            headline: "redundancy keeps a dead drive's data alive; without it a death zeroes the cell",
+            report: Report::Flat,
+            build: build_fault_sweep,
+            note: Some(|_| {
+                "the degraded-disk ladder generalized: cacheless/worn are its levels 1-2 as \
+                 intensity-0 special cases, transient/failure add timed schedules drawn from \
+                 the cell seed; lost data reports zero throughput"
+                    .to_owned()
+            }),
+        },
     ]
 }
 
@@ -834,6 +848,65 @@ fn build_net_sweep(params: &SweepParams) -> Vec<Cell> {
     cells
 }
 
+/// The fault-injection sweep: the degraded-disk ladder generalized into the
+/// fourth pluggable subsystem. For the block-distributed read every fault
+/// intensity runs bare (the static cacheless/worn degradations are the
+/// intensity-0 special cases of the timed transient/failure storms), and
+/// the timed intensities additionally run under mirrored and
+/// parity-declustered redundancy; the per-CP read re-checks the headline
+/// compositions. A cell that loses data reports zero throughput, so
+/// "survives the fault" is visible directly in the numbers.
+fn build_fault_sweep(params: &SweepParams) -> Vec<Cell> {
+    let methods = [Method::TC, Method::DDIO_SORTED];
+    let rb = AccessPattern::parse("rb").expect("known pattern");
+    let ra = AccessPattern::parse("ra").expect("known pattern");
+    let mut grid: Vec<(AccessPattern, &'static str, FaultPolicy, RedundancyPolicy)> = Vec::new();
+    for faults in FaultPolicy::ALL {
+        grid.push((rb, "rb", faults, RedundancyPolicy::None));
+    }
+    for redundancy in [RedundancyPolicy::Mirrored, RedundancyPolicy::Parity] {
+        for faults in [FaultPolicy::Transient, FaultPolicy::Failure] {
+            grid.push((rb, "rb", faults, redundancy));
+        }
+    }
+    grid.push((ra, "ra", FaultPolicy::None, RedundancyPolicy::None));
+    grid.push((ra, "ra", FaultPolicy::Failure, RedundancyPolicy::Mirrored));
+    grid.push((ra, "ra", FaultPolicy::Failure, RedundancyPolicy::Parity));
+    let mut cells = Vec::new();
+    for (pattern, pattern_name, faults, redundancy) in grid {
+        let config = MachineConfig {
+            faults,
+            redundancy,
+            ..params.base.clone()
+        };
+        for &method in &methods {
+            cells.push(Cell {
+                scenario: "fault-sweep",
+                config: config.clone(),
+                method,
+                pattern,
+                record_bytes: 8192,
+                axes: vec![
+                    Axis::new("faults", faults.name()),
+                    Axis::new("redundancy", redundancy.name()),
+                ],
+                seed: derive_seed(
+                    params.seed,
+                    &[
+                        "fault-sweep",
+                        pattern_name,
+                        &method.label(),
+                        faults.name(),
+                        redundancy.name(),
+                    ],
+                    &[],
+                ),
+            });
+        }
+    }
+    cells
+}
+
 /// Record size crossed with CP count for the block-distributed read, the
 /// grid the paper's Figures 3 and 5 each slice one axis of.
 fn build_record_cp_cross(params: &SweepParams) -> Vec<Cell> {
@@ -1219,6 +1292,7 @@ mod tests {
             "sched-sweep",
             "cache-sweep",
             "net-sweep",
+            "fault-sweep",
         ] {
             let cells = (find(name).unwrap().build)(&tiny_params());
             assert!(!cells.is_empty(), "{name} built no cells");
@@ -1276,6 +1350,41 @@ mod tests {
                 AxisValue::Name(c.config.fabric.contention.name())
             );
         }
+    }
+
+    #[test]
+    fn fault_sweep_covers_the_ladder_and_the_redundant_compositions() {
+        let cells = (find("fault-sweep").unwrap().build)(&tiny_params());
+        // rb: 5 bare intensities + {mirror, parity} x {transient, failure};
+        // ra: healthy baseline + a drive death under each redundancy; all
+        // for both methods.
+        assert_eq!(cells.len(), (5 + 4 + 3) * 2);
+        for faults in FaultPolicy::ALL {
+            assert!(
+                cells.iter().any(|c| c.config.faults == faults),
+                "no cell for {faults}"
+            );
+        }
+        for redundancy in RedundancyPolicy::ALL {
+            assert!(
+                cells.iter().any(|c| c.config.redundancy == redundancy),
+                "no cell for {redundancy}"
+            );
+        }
+        for c in &cells {
+            c.config.validate();
+            assert_eq!(c.axes[0].name, "faults");
+            assert_eq!(c.axes[0].value, AxisValue::Name(c.config.faults.name()));
+            assert_eq!(c.axes[1].name, "redundancy");
+            assert_eq!(c.axes[1].value, AxisValue::Name(c.config.redundancy.name()));
+        }
+        // The static degraded-disk ladder rides along as the timed storms'
+        // intensity-0 special cases: no schedule, config-only degradation.
+        let static_cells = cells
+            .iter()
+            .filter(|c| !c.config.faults.has_timed_events())
+            .count();
+        assert_eq!(static_cells, (3 + 1) * 2);
     }
 
     #[test]

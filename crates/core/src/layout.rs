@@ -3,10 +3,26 @@
 //! "Files were striped across all disks, block by block" (§4): file block `b`
 //! lives on disk `b mod n_disks`. Within each disk the file's blocks are
 //! placed either contiguously or at random physical block positions (§5).
+//!
+//! When the machine runs a [`RedundancyPolicy`] other than `none`, the
+//! layout additionally places spare copies: a mirror copy of every block on
+//! the primary disk's partner (`mirror`), or one parity block per group of
+//! `n_disks - 1` consecutive file blocks (`parity`), stored on the one disk
+//! the group's round-robin striping skips — so the parity disk rotates and
+//! never holds data of its own group. Redundant copies are placed at random
+//! free physical blocks, drawn from RNG streams independent of the primary
+//! streams, so enabling redundancy never moves a primary block.
 
 use ddio_sim::SimRng;
 
 use crate::config::{LayoutPolicy, MachineConfig};
+use crate::fault::RedundancyPolicy;
+
+/// Stream tag for disk `d`'s mirror-copy positions (clear of the primary
+/// streams, which use the disk index itself).
+const MIRROR_STREAM: u64 = 0x4D00;
+/// Stream tag for disk `d`'s parity-block positions.
+const PARITY_STREAM: u64 = 0x9A00;
 
 /// Physical location of one file block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,6 +42,11 @@ pub struct FileLayout {
     sectors_per_block: u64,
     /// Indexed by file block number.
     locations: Vec<BlockLocation>,
+    redundancy: RedundancyPolicy,
+    /// Mirror copies, indexed by file block number (`mirror` only).
+    mirrors: Vec<BlockLocation>,
+    /// Parity blocks, indexed by parity group (`parity` only).
+    parity: Vec<BlockLocation>,
 }
 
 impl FileLayout {
@@ -94,13 +115,89 @@ impl FileLayout {
             });
         }
 
+        // Place the redundant copies, if any. Their positions come from RNG
+        // streams disjoint from the primary streams (`derive` is a pure
+        // function of the root seed), so the primary placement above is
+        // bit-identical whether or not redundancy is enabled.
+        let mut occupied: Vec<std::collections::HashSet<u64>> =
+            vec![std::collections::HashSet::new(); n_disks];
+        if config.redundancy != RedundancyPolicy::None {
+            for loc in &locations {
+                occupied[loc.disk].insert(loc.start_sector / sectors_per_block);
+            }
+        }
+        let mut pick_free = |disk: usize, disk_rng: &SimRng| -> u64 {
+            loop {
+                let p = disk_rng.gen_range(disk_blocks);
+                if occupied[disk].insert(p) {
+                    return p;
+                }
+            }
+        };
+        let mut mirrors = Vec::new();
+        let mut parity = Vec::new();
+        match config.redundancy {
+            RedundancyPolicy::None => {}
+            RedundancyPolicy::Mirrored => {
+                let streams: Vec<SimRng> = (0..n_disks)
+                    .map(|d| rng.derive(MIRROR_STREAM + d as u64))
+                    .collect();
+                for block in 0..n_blocks {
+                    let mirror_disk = locations[block as usize].disk ^ 1;
+                    let p = pick_free(mirror_disk, &streams[mirror_disk]);
+                    mirrors.push(BlockLocation {
+                        disk: mirror_disk,
+                        start_sector: p * sectors_per_block,
+                    });
+                }
+            }
+            RedundancyPolicy::Parity => {
+                let streams: Vec<SimRng> = (0..n_disks)
+                    .map(|d| rng.derive(PARITY_STREAM + d as u64))
+                    .collect();
+                for group in 0..Self::parity_groups(n_blocks, n_disks) {
+                    let parity_disk = Self::parity_disk(group, n_disks);
+                    let p = pick_free(parity_disk, &streams[parity_disk]);
+                    parity.push(BlockLocation {
+                        disk: parity_disk,
+                        start_sector: p * sectors_per_block,
+                    });
+                }
+            }
+        }
+
         FileLayout {
             block_bytes: config.block_bytes,
             file_bytes: config.file_bytes,
             n_disks,
             sectors_per_block,
             locations,
+            redundancy: config.redundancy,
+            mirrors,
+            parity,
         }
+    }
+
+    /// Blocks per parity group: the longest run of consecutive file blocks
+    /// guaranteed to land on distinct disks while leaving one disk free for
+    /// the parity block (one with two disks, where parity degenerates to
+    /// mirroring).
+    fn group_span(n_disks: usize) -> u64 {
+        (n_disks as u64 - 1).max(1)
+    }
+
+    /// Number of parity groups covering `n_blocks` file blocks.
+    fn parity_groups(n_blocks: u64, n_disks: usize) -> u64 {
+        n_blocks.div_ceil(Self::group_span(n_disks))
+    }
+
+    /// The disk holding `group`'s parity block: the one disk the group's
+    /// `n_disks - 1` consecutive blocks skip under round-robin striping, so
+    /// it rotates across groups and never holds data of its own group.
+    fn parity_disk(group: u64, n_disks: usize) -> usize {
+        let n = n_disks as u64;
+        let first = (group * Self::group_span(n_disks)) % n;
+        ((first + n - 1) % n) as usize
     }
 
     /// File-system block size in bytes.
@@ -157,6 +254,52 @@ impl FileLayout {
         let start = block * self.block_bytes;
         let end = (start + self.block_bytes).min(self.file_bytes);
         (start, end)
+    }
+
+    /// The redundancy policy the layout was generated under.
+    pub fn redundancy(&self) -> RedundancyPolicy {
+        self.redundancy
+    }
+
+    /// The location of `block`'s single redundant copy, if the policy keeps
+    /// one: the mirror copy under `mirror`, the group's parity block under
+    /// `parity`, nothing under `none`. This is both where a failed write is
+    /// redirected and what a healthy redundant write must also update.
+    pub fn redundant_location(&self, block: u64) -> Option<BlockLocation> {
+        match self.redundancy {
+            RedundancyPolicy::None => None,
+            RedundancyPolicy::Mirrored => self.mirrors.get(block as usize).copied(),
+            RedundancyPolicy::Parity => {
+                let group = block / Self::group_span(self.n_disks);
+                self.parity.get(group as usize).copied()
+            }
+        }
+    }
+
+    /// Everything a reconstruction of `block` must read when its primary
+    /// copy is unavailable: the mirror copy under `mirror`; the group's
+    /// surviving data blocks plus its parity block under `parity`; nothing
+    /// under `none` (the block is simply lost).
+    pub fn reconstruction_sources(&self, block: u64) -> Vec<BlockLocation> {
+        match self.redundancy {
+            RedundancyPolicy::None => Vec::new(),
+            RedundancyPolicy::Mirrored => self
+                .mirrors
+                .get(block as usize)
+                .copied()
+                .into_iter()
+                .collect(),
+            RedundancyPolicy::Parity => {
+                let span = Self::group_span(self.n_disks);
+                let group = block / span;
+                let mut sources: Vec<BlockLocation> = (group * span..(group + 1) * span)
+                    .filter(|&b| b != block && b < self.n_blocks())
+                    .map(|b| self.location(b))
+                    .collect();
+                sources.extend(self.parity.get(group as usize).copied());
+                sources
+            }
+        }
     }
 
     /// The file blocks stored on `disk`, in file order, with their physical
@@ -264,6 +407,89 @@ mod tests {
         assert_eq!(layout.block_of_offset(0), 0);
         assert_eq!(layout.block_of_offset(8192), 1);
         assert_eq!(layout.block_of_offset(99_999), 12);
+    }
+
+    #[test]
+    fn redundancy_never_moves_a_primary_block() {
+        let locs = |l: &FileLayout| (0..l.n_blocks()).map(|b| l.location(b)).collect::<Vec<_>>();
+        for layout_policy in [LayoutPolicy::Contiguous, LayoutPolicy::RandomBlocks] {
+            let plain = FileLayout::generate(&config(layout_policy), &SimRng::seed_from_u64(9));
+            for redundancy in [RedundancyPolicy::Mirrored, RedundancyPolicy::Parity] {
+                let cfg = MachineConfig {
+                    redundancy,
+                    ..config(layout_policy)
+                };
+                let redundant = FileLayout::generate(&cfg, &SimRng::seed_from_u64(9));
+                assert_eq!(
+                    locs(&plain),
+                    locs(&redundant),
+                    "{redundancy} moved a primary"
+                );
+            }
+        }
+        assert_eq!(
+            FileLayout::generate(&config(LayoutPolicy::Contiguous), &SimRng::seed_from_u64(9))
+                .reconstruction_sources(5),
+            Vec::new(),
+            "no redundancy, no sources"
+        );
+    }
+
+    #[test]
+    fn mirror_copies_live_on_the_partner_disk_without_collisions() {
+        let cfg = MachineConfig {
+            redundancy: RedundancyPolicy::Mirrored,
+            ..config(LayoutPolicy::RandomBlocks)
+        };
+        let layout = FileLayout::generate(&cfg, &SimRng::seed_from_u64(11));
+        let mut used: std::collections::HashSet<(usize, u64)> = (0..layout.n_blocks())
+            .map(|b| {
+                let l = layout.location(b);
+                (l.disk, l.start_sector)
+            })
+            .collect();
+        for block in 0..layout.n_blocks() {
+            let primary = layout.location(block);
+            let mirror = layout.redundant_location(block).unwrap();
+            assert_eq!(mirror.disk, primary.disk ^ 1);
+            assert!(
+                used.insert((mirror.disk, mirror.start_sector)),
+                "mirror of block {block} collides"
+            );
+            assert_eq!(layout.reconstruction_sources(block), vec![mirror]);
+        }
+    }
+
+    #[test]
+    fn parity_disk_rotates_and_never_holds_its_groups_data() {
+        let cfg = MachineConfig {
+            redundancy: RedundancyPolicy::Parity,
+            ..config(LayoutPolicy::RandomBlocks)
+        };
+        let layout = FileLayout::generate(&cfg, &SimRng::seed_from_u64(13));
+        let span = 15; // n_disks - 1
+        let mut parity_disks = std::collections::HashSet::new();
+        for block in 0..layout.n_blocks() {
+            let parity = layout.redundant_location(block).unwrap();
+            parity_disks.insert(parity.disk);
+            let group = block / span;
+            for b in group * span..((group + 1) * span).min(layout.n_blocks()) {
+                assert_ne!(
+                    layout.disk_of_block(b),
+                    parity.disk,
+                    "group {group} keeps data on its parity disk"
+                );
+            }
+            let sources = layout.reconstruction_sources(block);
+            // Every other group member plus the parity block, each on a
+            // distinct disk, none on the failed block's own disk.
+            let group_len = ((group + 1) * span).min(layout.n_blocks()) - group * span;
+            assert_eq!(sources.len(), group_len as usize);
+            let disks: std::collections::HashSet<usize> = sources.iter().map(|s| s.disk).collect();
+            assert_eq!(disks.len(), sources.len());
+            assert!(!disks.contains(&layout.disk_of_block(block)));
+        }
+        assert_eq!(parity_disks.len(), 16, "rotation covers every disk");
     }
 
     #[test]

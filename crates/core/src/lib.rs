@@ -29,7 +29,13 @@
 //! composed with a [`ContentionModel`] (`ni-only`, the paper's
 //! NI-bottleneck model, or `link`, which serializes overlapping routes on
 //! shared fabric links), so "when does the fabric itself become the
-//! bottleneck?" is the `net-sweep` scenario rather than a rewrite.
+//! bottleneck?" is the `net-sweep` scenario rather than a rewrite. The
+//! fourth pluggable subsystem is fault injection and redundancy
+//! ([`FaultPolicy`] × [`RedundancyPolicy`] in [`fault`]): a deterministic
+//! schedule of timed failures (a slow drive, a crashed IOP, a dead drive)
+//! composed with a redundancy layout (mirrored pairs or rotated parity)
+//! that reconstructs failed reads, so "how gracefully does each file system
+//! degrade?" is the `fault-sweep` scenario rather than a rewrite.
 //!
 //! On top sit the striped-file layout machinery ([`FileLayout`],
 //! [`LayoutPolicy`]), the user-facing collective API ([`CollectiveFile`]),
@@ -61,6 +67,7 @@ mod collective;
 mod config;
 mod ddio;
 pub mod experiment;
+pub mod fault;
 mod layout;
 mod machine;
 mod msg;
@@ -76,6 +83,10 @@ pub use config::{
     NetConfig, SchedPolicy, SchedSet, TopologyKind, TopologySet,
 };
 pub use ddio_net::LinkStat;
+pub use fault::{
+    FaultConfig, FaultEvent, FaultKind, FaultPolicy, FaultSet, FaultStats, RedundancyPolicy,
+    RedundancySet,
+};
 pub use layout::{BlockLocation, FileLayout};
 pub use machine::{run_transfer, TransferOutcome, VerifyReport};
 pub use msg::FsMessage;

@@ -5,23 +5,27 @@
 //! the chosen file system, and reports the elapsed simulated time and
 //! throughput — one data point of one trial in the paper's figures.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
-use ddio_disk::{spawn_disk, DiskHandle, DiskParams, DiskStats, ScsiBus};
+use ddio_disk::{spawn_disk_faulty, DiskHandle, DiskParams, DiskRequest, DiskStats, ScsiBus};
 use ddio_net::{Envelope, LinkStat, NetConfig, Network};
 use ddio_patterns::{AccessPattern, PatternInstance};
 use ddio_sim::stats::throughput_mibs;
 use ddio_sim::sync::{Receiver, Resource};
-use ddio_sim::{Sim, SimDuration, SimRng};
+use ddio_sim::{Sim, SimContext, SimDuration, SimRng};
 
 use crate::cache::CacheStats;
 use crate::config::{CacheConfig, MachineConfig, Method};
 use crate::ddio;
-use crate::layout::FileLayout;
+use crate::fault::{FaultConfig, FaultPolicy, FaultStats, RedundancyPolicy};
+use crate::layout::{BlockLocation, FileLayout};
 use crate::msg::FsMessage;
 use crate::tc;
 use crate::util::IntervalSet;
+
+/// RNG stream tag of the fault schedule (disjoint from the layout streams).
+const FAULT_STREAM: u64 = 0xFA17;
 
 /// Inbox type used by every node.
 pub(crate) type Inbox = Receiver<Envelope<FsMessage>>;
@@ -58,6 +62,40 @@ pub(crate) struct VerifyState {
     pub file_written: IntervalSet,
 }
 
+/// Cross-IOP access to one drive, used by fault recovery: reconstruction
+/// reads and redirected writes must charge the *source* disk's drive and
+/// SCSI bus even when they belong to another IOP.
+pub(crate) struct RecoveryDisk {
+    /// The drive (all handles feed the same queue).
+    pub handle: DiskHandle,
+    /// The SCSI bus of the IOP owning the drive.
+    pub bus: ScsiBus,
+    /// The network node of the IOP owning the drive.
+    pub node: usize,
+}
+
+/// The fault subsystem's per-run state: the compiled schedule, cross-IOP
+/// drive access for recovery, and the recovery counters.
+pub(crate) struct FaultSession {
+    /// Simulation clock access (liveness checks are time-dependent).
+    pub ctx: SimContext,
+    /// The compiled schedule (empty under `FaultPolicy::None` and the
+    /// static policies).
+    pub schedule: FaultConfig,
+    /// Per-global-disk access, indexed by disk id.
+    pub disks: Vec<RecoveryDisk>,
+    /// Reads issued against redundant copies.
+    pub reconstruction_reads: Cell<u64>,
+    /// Blocks with no surviving copy.
+    pub lost_blocks: Cell<u64>,
+}
+
+impl FaultSession {
+    fn count_lost(&self) {
+        self.lost_blocks.set(self.lost_blocks.get() + 1);
+    }
+}
+
 /// Everything the file-system implementations need to know about the run.
 pub(crate) struct RunContext {
     /// The machine configuration.
@@ -73,6 +111,8 @@ pub(crate) struct RunContext {
     /// Per-IOP cache statistics, published by each traditional-caching IOP
     /// server at the end-of-transfer sync (`None` for cacheless methods).
     pub cache_stats: RefCell<Vec<Option<CacheStats>>>,
+    /// Fault schedule, recovery table, and counters.
+    pub fault: FaultSession,
 }
 
 impl RunContext {
@@ -95,6 +135,117 @@ impl RunContext {
     /// Publishes IOP `iop`'s final cache statistics.
     pub fn publish_cache_stats(&self, iop: usize, stats: CacheStats) {
         self.cache_stats.borrow_mut()[iop] = Some(stats);
+    }
+
+    /// Handles a failed primary read of `block` observed by the IOP at
+    /// `requester_node`: reads every reconstruction source that is still
+    /// alive, charging the source drive, its owning IOP's SCSI bus, and a
+    /// fabric hop when the source lives on another IOP. A block whose full
+    /// source set cannot be read is counted lost — but the caller proceeds
+    /// regardless, so the transfer protocol always terminates.
+    pub async fn recover_block_read(&self, block: u64, requester_node: usize) {
+        let f = &self.fault;
+        let sources = self.layout.reconstruction_sources(block);
+        let (bstart, bend) = self.layout.block_byte_range(block);
+        let bytes = bend - bstart;
+        let sectors = self.sectors_for(bytes);
+        let mut complete = !sources.is_empty();
+        for loc in sources {
+            if f.schedule.is_dead(loc.disk, f.ctx.now()) {
+                complete = false;
+                continue;
+            }
+            let source = &f.disks[loc.disk];
+            let breakdown = source
+                .handle
+                .io(DiskRequest::read(loc.start_sector, sectors))
+                .await;
+            if breakdown.failed {
+                complete = false;
+                continue;
+            }
+            source.bus.transfer(bytes).await;
+            if source.node != requester_node {
+                self.ship_reconstruction(source.node, requester_node, block, bytes)
+                    .await;
+            }
+            f.reconstruction_reads.set(f.reconstruction_reads.get() + 1);
+        }
+        if !complete {
+            f.count_lost();
+        }
+    }
+
+    /// Updates `block`'s redundant copy (mirror or parity) after a
+    /// successful primary write — the steady-state cost of running
+    /// redundancy. A no-op under `RedundancyPolicy::None`; a copy whose
+    /// disk has died is skipped (the primary survives).
+    pub async fn redundant_write(&self, block: u64, requester_node: usize, bytes: u64) {
+        if self.layout.redundancy() == RedundancyPolicy::None {
+            return;
+        }
+        let f = &self.fault;
+        let Some(loc) = self.layout.redundant_location(block) else {
+            return;
+        };
+        if f.schedule.is_dead(loc.disk, f.ctx.now()) {
+            return;
+        }
+        self.write_copy(block, loc, requester_node, bytes).await;
+    }
+
+    /// Redirects a write whose primary disk is dead to the block's redundant
+    /// location. With no live redundant location the block is lost.
+    pub async fn redirect_failed_write(&self, block: u64, requester_node: usize, bytes: u64) {
+        let f = &self.fault;
+        let live = self
+            .layout
+            .redundant_location(block)
+            .filter(|loc| !f.schedule.is_dead(loc.disk, f.ctx.now()));
+        match live {
+            Some(loc) => {
+                if !self.write_copy(block, loc, requester_node, bytes).await {
+                    f.count_lost();
+                }
+            }
+            None => f.count_lost(),
+        }
+    }
+
+    /// Ships `bytes` to the IOP owning `loc` (if remote), charges its bus,
+    /// and writes the copy. True on success.
+    async fn write_copy(
+        &self,
+        block: u64,
+        loc: BlockLocation,
+        requester_node: usize,
+        bytes: u64,
+    ) -> bool {
+        let target = &self.fault.disks[loc.disk];
+        if target.node != requester_node {
+            self.ship_reconstruction(requester_node, target.node, block, bytes)
+                .await;
+        }
+        target.bus.transfer(bytes).await;
+        let breakdown = target
+            .handle
+            .io(DiskRequest::write(
+                loc.start_sector,
+                self.sectors_for(bytes),
+            ))
+            .await;
+        !breakdown.failed
+    }
+
+    /// One cross-IOP hop of reconstruction data over the fabric.
+    async fn ship_reconstruction(&self, from: usize, to: usize, block: u64, bytes: u64) {
+        let msg = FsMessage::Reconstructed { block, bytes };
+        let wire = self.config.costs.message_header_bytes + msg.payload_bytes();
+        self.net.send(from, to, wire, msg).await;
+    }
+
+    fn sectors_for(&self, bytes: u64) -> u32 {
+        bytes.div_ceil(self.config.disk.geometry.bytes_per_sector as u64) as u32
     }
 }
 
@@ -135,6 +286,13 @@ pub struct TransferOutcome {
     pub network_bytes: u64,
     /// The fabric composition the transfer ran on.
     pub fabric: NetConfig,
+    /// The fault policy the transfer ran under.
+    pub faults: FaultPolicy,
+    /// The redundancy policy the transfer ran under.
+    pub redundancy: RedundancyPolicy,
+    /// Fault and recovery counters (all zero under the default
+    /// composition). A transfer that lost blocks reports zero throughput.
+    pub fault_stats: FaultStats,
     /// Per-node sending-NI utilization over each NI's active window
     /// (index = network node id; CPs first, then IOPs).
     pub ni_send_utilization: Vec<f64>,
@@ -281,12 +439,18 @@ pub fn run_transfer_in(
     let rng = SimRng::seed_from_u64(seed);
     let layout = Rc::new(FileLayout::generate(config, &rng.derive(0xD15C)));
 
+    // The fault schedule comes from its own derived stream, so enabling
+    // faults never perturbs the layout (and vice versa). Static and absent
+    // policies compile to an empty schedule.
+    let fault_schedule = FaultConfig::derive(config.faults, config, &rng.derive(FAULT_STREAM));
+
     let ctx = sim.context();
 
     // Interconnect: CPs occupy nodes [0, n_cps), IOPs the next n_iops nodes,
     // placed on the configured fabric (the paper's torus by default).
     let (net, mut inboxes) =
         Network::<FsMessage>::new(ctx.clone(), config.fabric, config.net, config.n_nodes());
+    net.set_outages(fault_schedule.outages.clone());
 
     let verify = config.verify.then(|| {
         Rc::new(RefCell::new(VerifyState {
@@ -308,15 +472,6 @@ pub fn run_transfer_in(
             cache,
         );
     }
-
-    let run = Rc::new(RunContext {
-        config: Rc::new(config.clone()),
-        pattern: pattern_instance,
-        layout: Rc::clone(&layout),
-        net: net.clone(),
-        verify,
-        cache_stats: RefCell::new(vec![None; config.n_iops]),
-    });
 
     // Build the CPs.
     let mut cp_inboxes = Vec::with_capacity(config.n_cps);
@@ -344,10 +499,14 @@ pub fn run_transfer_in(
         method.sched(),
         config.disk.sched,
     );
-    let drive_params = DiskParams {
+    let mut drive_params = DiskParams {
         sched: method.sched(),
         ..config.disk
     };
+    // Static fault policies (cacheless / worn) degrade every drive from
+    // time zero; timed policies leave the parameters pristine and act
+    // through the per-drive plans instead.
+    config.faults.degrade(&mut drive_params);
     let mut iop_inboxes = Vec::with_capacity(config.n_iops);
     let mut iops = Vec::with_capacity(config.n_iops);
     for iop in 0..config.n_iops {
@@ -360,7 +519,10 @@ pub fn run_transfer_in(
         );
         let disks = config
             .disks_of_iop(iop)
-            .map(|disk| (disk, spawn_disk(&ctx, disk, drive_params)))
+            .map(|disk| {
+                let plan = fault_schedule.plan(disk);
+                (disk, spawn_disk_faulty(&ctx, disk, drive_params, plan))
+            })
             .collect();
         iops.push(Rc::new(IopParts {
             iop,
@@ -370,6 +532,34 @@ pub fn run_transfer_in(
             disks,
         }));
     }
+
+    // Recovery needs cross-IOP drive access (a reconstruction source may
+    // live on any IOP), so the fault session indexes every drive globally.
+    let recovery_disks: Vec<RecoveryDisk> = iops
+        .iter()
+        .flat_map(|iop| {
+            iop.disks.iter().map(|(_, handle)| RecoveryDisk {
+                handle: handle.clone(),
+                bus: iop.bus.clone(),
+                node: iop.node,
+            })
+        })
+        .collect();
+    let run = Rc::new(RunContext {
+        config: Rc::new(config.clone()),
+        pattern: pattern_instance,
+        layout: Rc::clone(&layout),
+        net: net.clone(),
+        verify,
+        cache_stats: RefCell::new(vec![None; config.n_iops]),
+        fault: FaultSession {
+            ctx: ctx.clone(),
+            schedule: fault_schedule,
+            disks: recovery_disks,
+            reconstruction_reads: Cell::new(0),
+            lost_blocks: Cell::new(0),
+        },
+    });
 
     match method {
         Method::TraditionalCaching(sched, cache) => {
@@ -416,6 +606,15 @@ pub fn run_transfer_in(
 
     let transferred_bytes = run.pattern.total_transfer_bytes();
     let cache_stats = run.cache_stats.borrow().clone();
+    let fault_stats = FaultStats {
+        events_fired: run.fault.schedule.events_fired(end),
+        reconstruction_reads: run.fault.reconstruction_reads.get(),
+        degraded_secs: run.fault.schedule.degraded_secs(end),
+        lost_blocks: run.fault.lost_blocks.get(),
+    };
+    // A transfer that lost data did not transfer the file: its throughput
+    // is reported as zero rather than rewarding the shortcut.
+    let data_survived = fault_stats.lost_blocks == 0;
     let ni_send_utilization = (0..config.n_nodes())
         .map(|n| net.send_utilization(n))
         .collect();
@@ -429,11 +628,22 @@ pub fn run_transfer_in(
         elapsed,
         file_bytes: config.file_bytes,
         transferred_bytes,
-        throughput_mibs: throughput_mibs(config.file_bytes, elapsed),
-        aggregate_mibs: throughput_mibs(transferred_bytes, elapsed),
+        throughput_mibs: if data_survived {
+            throughput_mibs(config.file_bytes, elapsed)
+        } else {
+            0.0
+        },
+        aggregate_mibs: if data_survived {
+            throughput_mibs(transferred_bytes, elapsed)
+        } else {
+            0.0
+        },
         messages: net.messages_sent(),
         network_bytes: net.bytes_sent(),
         fabric: config.fabric,
+        faults: config.faults,
+        redundancy: config.redundancy,
+        fault_stats,
         ni_send_utilization,
         ni_recv_utilization,
         link_stats: net.link_stats(),
@@ -610,6 +820,107 @@ mod tests {
             assert!(l.messages > 0);
             assert_ne!(l.from, l.to);
         }
+    }
+
+    #[test]
+    fn default_composition_reports_empty_fault_stats() {
+        let outcome = run_transfer(
+            &tiny_config(),
+            Method::TC,
+            AccessPattern::parse("rb").unwrap(),
+            8192,
+            1,
+        );
+        assert_eq!(outcome.faults, FaultPolicy::None);
+        assert_eq!(outcome.redundancy, RedundancyPolicy::None);
+        assert_eq!(outcome.fault_stats, FaultStats::default());
+    }
+
+    #[test]
+    fn transient_faults_slow_the_transfer_but_lose_nothing() {
+        let mut config = tiny_config();
+        config.faults = FaultPolicy::Transient;
+        let healthy = run_transfer(
+            &tiny_config(),
+            Method::DDIO_SORTED,
+            AccessPattern::parse("rb").unwrap(),
+            8192,
+            1,
+        );
+        let outcome = run_transfer(
+            &config,
+            Method::DDIO_SORTED,
+            AccessPattern::parse("rb").unwrap(),
+            8192,
+            1,
+        );
+        assert_eq!(outcome.fault_stats.events_fired, 2);
+        assert!(outcome.fault_stats.degraded_secs > 0.0);
+        assert_eq!(outcome.fault_stats.lost_blocks, 0);
+        assert_eq!(outcome.fault_stats.reconstruction_reads, 0);
+        assert!(outcome.elapsed > healthy.elapsed, "faults must cost time");
+        assert!(outcome.throughput_mibs > 0.0);
+    }
+
+    #[test]
+    fn a_dead_drive_without_redundancy_loses_blocks() {
+        let mut config = tiny_config();
+        config.layout = LayoutPolicy::RandomBlocks;
+        config.faults = FaultPolicy::Failure;
+        let outcome = run_transfer(
+            &config,
+            Method::TC,
+            AccessPattern::parse("rb").unwrap(),
+            8192,
+            1,
+        );
+        assert_eq!(outcome.fault_stats.events_fired, 3);
+        assert!(outcome.fault_stats.lost_blocks > 0);
+        assert_eq!(outcome.throughput_mibs, 0.0, "lost data earns no credit");
+        assert_eq!(outcome.aggregate_mibs, 0.0);
+    }
+
+    #[test]
+    fn mirrored_redundancy_reconstructs_a_dead_drives_blocks() {
+        let mut config = tiny_config();
+        config.layout = LayoutPolicy::RandomBlocks;
+        config.faults = FaultPolicy::Failure;
+        config.redundancy = RedundancyPolicy::Mirrored;
+        config.verify = true;
+        let outcome = run_transfer(
+            &config,
+            Method::DDIO_SORTED,
+            AccessPattern::parse("rb").unwrap(),
+            8192,
+            1,
+        );
+        assert!(outcome.fault_stats.reconstruction_reads > 0);
+        assert_eq!(outcome.fault_stats.lost_blocks, 0);
+        assert!(outcome.throughput_mibs > 0.0);
+        assert!(outcome.verify.unwrap().complete);
+    }
+
+    #[test]
+    fn parity_reconstruction_reads_the_surviving_group() {
+        let mut config = tiny_config();
+        config.n_disks = 4;
+        config.layout = LayoutPolicy::RandomBlocks;
+        config.faults = FaultPolicy::Failure;
+        config.redundancy = RedundancyPolicy::Parity;
+        let outcome = run_transfer(
+            &config,
+            Method::DDIO_SORTED,
+            AccessPattern::parse("rb").unwrap(),
+            8192,
+            1,
+        );
+        assert!(outcome.fault_stats.reconstruction_reads > 0);
+        assert_eq!(outcome.fault_stats.lost_blocks, 0);
+        // Rebuilding one block from a 4-disk parity group costs three reads,
+        // so parity pays at least as many reconstruction reads as mirroring
+        // would for the same loss.
+        assert!(outcome.fault_stats.reconstruction_reads >= 3);
+        assert!(outcome.throughput_mibs > 0.0);
     }
 
     #[test]

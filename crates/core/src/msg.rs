@@ -76,6 +76,17 @@ pub enum FsMessage {
         /// The piece of the file carried.
         piece: Chunk,
     },
+    /// Fault recovery: reconstruction data (a mirror copy, a surviving
+    /// parity-group member, or a redirected write) shipped between the IOP
+    /// owning the redundant copy and the IOP recovering the block. Carries
+    /// the data; the receiver needs no routing — the recovering task awaits
+    /// delivery through [`Network::send`](ddio_net::Network::send).
+    Reconstructed {
+        /// The file block being reconstructed.
+        block: u64,
+        /// Bytes of data carried.
+        bytes: u64,
+    },
 }
 
 impl FsMessage {
@@ -93,6 +104,7 @@ impl FsMessage {
             },
             FsMessage::Memput { piece } => piece.bytes,
             FsMessage::MemgetReply { piece, .. } => piece.bytes,
+            FsMessage::Reconstructed { bytes, .. } => bytes,
             FsMessage::TcSync { .. }
             | FsMessage::TcSyncDone
             | FsMessage::CollectiveRequest { .. }

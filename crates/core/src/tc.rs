@@ -102,7 +102,10 @@ impl IopServer {
         let bytes = self.block_bytes(block);
         let sectors = bytes.div_ceil(self.run.config.disk.geometry.bytes_per_sector as u64) as u32;
         let disk = self.disk_handle(loc.disk);
-        disk.io(DiskRequest::read(loc.start_sector, sectors)).await;
+        let breakdown = disk.io(DiskRequest::read(loc.start_sector, sectors)).await;
+        if breakdown.failed {
+            self.run.recover_block_read(block, self.parts.node).await;
+        }
         self.parts.bus.transfer(bytes).await;
     }
 
@@ -113,7 +116,16 @@ impl IopServer {
         let sectors = bytes.div_ceil(self.run.config.disk.geometry.bytes_per_sector as u64) as u32;
         self.parts.bus.transfer(bytes).await;
         let disk = self.disk_handle(loc.disk);
-        disk.io(DiskRequest::write(loc.start_sector, sectors)).await;
+        let breakdown = disk.io(DiskRequest::write(loc.start_sector, sectors)).await;
+        if breakdown.failed {
+            self.run
+                .redirect_failed_write(block, self.parts.node, bytes)
+                .await;
+        } else {
+            self.run
+                .redundant_write(block, self.parts.node, bytes)
+                .await;
+        }
     }
 
     /// Ensures `block` is resident (waiting on a fill in progress, or reading
@@ -473,6 +485,9 @@ pub(crate) fn spawn_transfer(
                             server.handle_sync(cp).await;
                         });
                     }
+                    // Reconstruction data: the recovering task awaited the
+                    // delivery itself; nothing to route.
+                    FsMessage::Reconstructed { .. } => {}
                     other => panic!(
                         "IOP received unexpected message under traditional caching: {other:?}"
                     ),

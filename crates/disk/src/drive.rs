@@ -12,11 +12,65 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use ddio_sim::sync::{oneshot, unbounded, Receiver, Sender};
-use ddio_sim::{SimContext, SimTime};
+use ddio_sim::{SimContext, SimDuration, SimTime};
 
 use crate::model::{DiskModel, DiskParams, DiskStats};
 use crate::request::{DiskRequest, ServiceBreakdown};
 use crate::sched::{DiskScheduler, SchedPolicy};
+
+/// Timed faults injected into one drive's server loop.
+///
+/// The plan is consulted at every dispatch, against the simulated clock: a
+/// dead drive fails requests after paying the controller overhead
+/// (the error reply), a stalled drive holds its queue until the window ends
+/// (an IOP crash + restart), and a slowed drive stretches each service by a
+/// factor (a drive in internal recovery). The default (empty) plan adds no
+/// awaits and no branches taken, so `spawn_disk` with no faults is
+/// event-for-event identical to the pre-fault server.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DriveFaultPlan {
+    /// The drive fails permanently at this instant: every request dispatched
+    /// at or after it returns `failed: true` after the controller overhead.
+    pub dead_at: Option<SimTime>,
+    /// Windows `[from, until)` during which the server holds dispatches and
+    /// resumes when the window closes (IOP crash + restart).
+    pub stalls: Vec<(SimTime, SimTime)>,
+    /// Windows `[from, until, factor)` during which service is degraded:
+    /// any service overlapping a window is stretched by `factor` (≥ 1).
+    pub slows: Vec<(SimTime, SimTime, f64)>,
+}
+
+impl DriveFaultPlan {
+    /// True if the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.dead_at.is_none() && self.stalls.is_empty() && self.slows.is_empty()
+    }
+
+    /// True if the drive has permanently failed at `now`.
+    pub fn is_dead(&self, now: SimTime) -> bool {
+        self.dead_at.is_some_and(|t| now >= t)
+    }
+
+    /// The end of a stall window covering `now`, if any.
+    pub fn stall_until(&self, now: SimTime) -> Option<SimTime> {
+        self.stalls
+            .iter()
+            .find(|&&(from, until)| now >= from && now < until)
+            .map(|&(_, until)| until)
+    }
+
+    /// The stretch factor for a service occupying `[start, end)`: the
+    /// largest factor of any window the service overlaps (1.0 when healthy).
+    /// Overlap — not the dispatch instant — so a degradation that begins and
+    /// ends mid-service still costs time.
+    pub fn slow_factor(&self, start: SimTime, end: SimTime) -> f64 {
+        self.slows
+            .iter()
+            .filter(|&&(from, until, _)| start < until && from < end)
+            .map(|&(_, _, factor)| factor)
+            .fold(1.0, f64::max)
+    }
+}
 
 /// The payload a drive threads through its scheduler: the completion channel.
 type Done = oneshot::OneSender<ServiceBreakdown>;
@@ -97,6 +151,18 @@ impl DiskHandle {
 ///
 /// The server runs until every [`DiskHandle`] clone has been dropped.
 pub fn spawn_disk(ctx: &SimContext, id: usize, params: DiskParams) -> DiskHandle {
+    spawn_disk_faulty(ctx, id, params, DriveFaultPlan::default())
+}
+
+/// Spawns a disk-server task with a [`DriveFaultPlan`] injected into its
+/// dispatch loop. `spawn_disk` is this with the empty plan, which takes no
+/// fault branch and adds no events.
+pub fn spawn_disk_faulty(
+    ctx: &SimContext,
+    id: usize,
+    params: DiskParams,
+    plan: DriveFaultPlan,
+) -> DiskHandle {
     let (tx, rx): (Sender<DiskCommand>, Receiver<DiskCommand>) = unbounded();
     let model = Rc::new(RefCell::new(DiskModel::new(params)));
     let pending: SharedQueue = Rc::new(RefCell::new(params.sched.scheduler(params.geometry)));
@@ -132,8 +198,35 @@ pub fn spawn_disk(ctx: &SimContext, id: usize, params: DiskParams) -> DiskHandle
                 (request, done, queue.len() as u64)
             };
             model.borrow_mut().record_queue_depth(depth);
-            let now: SimTime = server_ctx.now();
-            let breakdown = model.borrow_mut().service(request, now);
+            let mut now: SimTime = server_ctx.now();
+            // A stall window (IOP crash + restart) holds the dispatch until
+            // the window closes; the request then proceeds normally.
+            if let Some(until) = plan.stall_until(now) {
+                server_ctx.sleep(until - now).await;
+                now = server_ctx.now();
+            }
+            if plan.is_dead(now) {
+                // The dead drive answers with an error after the controller
+                // overhead; no media transfer, no mechanism movement.
+                let overhead = model.borrow().params().controller_overhead;
+                server_ctx.sleep(overhead).await;
+                done.send(ServiceBreakdown {
+                    overhead,
+                    total: overhead,
+                    failed: true,
+                    ..ServiceBreakdown::default()
+                });
+                continue;
+            }
+            let mut breakdown = model.borrow_mut().service(request, now);
+            let factor = plan.slow_factor(now, now + breakdown.total);
+            if factor > 1.0 {
+                // The stretch is charged to the requester (and the simulated
+                // clock), not to `DiskStats::busy_time`, which keeps counting
+                // healthy service time only.
+                breakdown.total =
+                    SimDuration::from_secs_f64(breakdown.total.as_secs_f64() * factor);
+            }
             server_ctx.sleep(breakdown.total).await;
             done.send(breakdown);
         }
@@ -299,6 +392,106 @@ mod tests {
         assert_eq!(s.max_queue_depth, 3);
         assert_eq!(s.mean_queue_depth(), 6.0 / 4.0);
         assert_eq!(disk.queue_len(), 0);
+    }
+
+    #[test]
+    fn dead_drive_fails_requests_after_the_deadline() {
+        let mut sim = Sim::new();
+        let ctx = sim.context();
+        let plan = DriveFaultPlan {
+            dead_at: Some(SimTime::ZERO + SimDuration::from_millis(50)),
+            ..DriveFaultPlan::default()
+        };
+        let disk = spawn_disk_faulty(&ctx, 0, DiskParams::hp_97560(), plan);
+        let results = Rc::new(RefCell::new(Vec::new()));
+        {
+            let disk = disk.clone();
+            let ctx = ctx.clone();
+            let results = Rc::clone(&results);
+            sim.spawn(async move {
+                let healthy = disk.io(DiskRequest::read(0, 16)).await;
+                results.borrow_mut().push(healthy.failed);
+                ctx.sleep(SimDuration::from_millis(100)).await;
+                let failed = disk.io(DiskRequest::read(16, 16)).await;
+                results.borrow_mut().push(failed.failed);
+                assert_eq!(failed.total, DiskParams::hp_97560().controller_overhead);
+                assert_eq!(failed.transfer, SimDuration::ZERO);
+            });
+        }
+        sim.run();
+        assert_eq!(*results.borrow(), vec![false, true]);
+        // The dead-drive reply never touched the mechanism.
+        assert_eq!(disk.stats().requests, 1);
+    }
+
+    #[test]
+    fn stall_window_holds_the_queue_until_it_closes() {
+        let mut sim = Sim::new();
+        let ctx = sim.context();
+        let until = SimTime::ZERO + SimDuration::from_millis(500);
+        let plan = DriveFaultPlan {
+            stalls: vec![(SimTime::ZERO, until)],
+            ..DriveFaultPlan::default()
+        };
+        let disk = spawn_disk_faulty(&ctx, 0, DiskParams::hp_97560(), plan);
+        let done_at = Rc::new(Cell::new(SimTime::ZERO));
+        {
+            let disk = disk.clone();
+            let ctx = ctx.clone();
+            let done_at = Rc::clone(&done_at);
+            sim.spawn(async move {
+                let b = disk.io(DiskRequest::read(0, 16)).await;
+                assert!(!b.failed);
+                done_at.set(ctx.now());
+            });
+        }
+        sim.run();
+        assert!(done_at.get() >= until, "request completed inside the stall");
+    }
+
+    #[test]
+    fn slow_window_stretches_service_time() {
+        let elapsed = |plan: DriveFaultPlan| {
+            let mut sim = Sim::new();
+            let ctx = sim.context();
+            let disk = spawn_disk_faulty(&ctx, 0, DiskParams::hp_97560(), plan);
+            sim.spawn(async move {
+                disk.io(DiskRequest::read(0, 16)).await;
+            });
+            sim.run().duration_since(SimTime::ZERO)
+        };
+        let healthy = elapsed(DriveFaultPlan::default());
+        let slowed = elapsed(DriveFaultPlan {
+            slows: vec![(
+                SimTime::ZERO,
+                SimTime::ZERO + SimDuration::from_secs(10),
+                4.0,
+            )],
+            ..DriveFaultPlan::default()
+        });
+        assert_eq!(slowed.as_nanos(), healthy.as_nanos() * 4);
+    }
+
+    #[test]
+    fn empty_plan_is_event_identical_to_spawn_disk() {
+        let run = |faulty: bool| {
+            let mut sim = Sim::new();
+            let ctx = sim.context();
+            let disk = if faulty {
+                spawn_disk_faulty(&ctx, 0, DiskParams::hp_97560(), DriveFaultPlan::default())
+            } else {
+                spawn_disk(&ctx, 0, DiskParams::hp_97560())
+            };
+            for i in 0..4u64 {
+                let disk = disk.clone();
+                sim.spawn(async move {
+                    disk.io(DiskRequest::read(i * 16, 16)).await;
+                });
+            }
+            let end = sim.run();
+            (end, sim.events_processed())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

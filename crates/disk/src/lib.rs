@@ -32,7 +32,7 @@ mod sched;
 mod seek;
 
 pub use bus::{ScsiBus, SCSI_ARBITRATION, SCSI_BUS_BANDWIDTH};
-pub use drive::{spawn_disk, DiskHandle};
+pub use drive::{spawn_disk, spawn_disk_faulty, DiskHandle, DriveFaultPlan};
 pub use geometry::{Chs, Geometry};
 pub use model::{DiskModel, DiskParams, DiskStats};
 pub use request::{DiskOp, DiskRequest, ServiceBreakdown};

@@ -258,6 +258,7 @@ impl DiskModel {
                     transfer: self.media_time(streak.end_sector, req.end_sector()),
                     total,
                     sequential_hit: true,
+                    failed: false,
                 })
             }
             DiskOp::Write => {
@@ -274,6 +275,7 @@ impl DiskModel {
                     transfer: self.media_time(streak.end_sector, req.end_sector()),
                     total,
                     sequential_hit: true,
+                    failed: false,
                 })
             }
         }
@@ -319,6 +321,7 @@ impl DiskModel {
             transfer,
             total,
             sequential_hit: false,
+            failed: false,
         }
     }
 }

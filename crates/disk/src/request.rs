@@ -70,6 +70,11 @@ pub struct ServiceBreakdown {
     /// True if the request was satisfied from (or streamed through) the
     /// on-disk read-ahead cache / sequential streak.
     pub sequential_hit: bool,
+    /// True if the drive had failed and the request returned an error after
+    /// `overhead` (no media transfer happened). Injected by a
+    /// [`DriveFaultPlan`](crate::DriveFaultPlan); the healthy model never
+    /// sets it.
+    pub failed: bool,
 }
 
 impl ServiceBreakdown {
@@ -103,6 +108,7 @@ mod tests {
             transfer: SimDuration::from_millis(3),
             total: SimDuration::from_millis(16),
             sequential_hit: false,
+            failed: false,
         };
         assert_eq!(b.mechanical(), SimDuration::from_millis(15));
     }

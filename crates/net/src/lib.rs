@@ -55,5 +55,5 @@ mod topology;
 
 pub use fabric::{ContentionModel, ContentionSet, NetConfig, TopologySet};
 pub use latency::NetworkParams;
-pub use network::{Envelope, LinkStat, Network};
+pub use network::{Envelope, LinkStat, Network, NiOutage};
 pub use topology::{Crossbar, Hypercube, Link, Mesh, NodeId, Topology, TopologyKind, Torus};

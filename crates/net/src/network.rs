@@ -55,6 +55,21 @@ pub struct LinkStat {
     pub busy: SimDuration,
 }
 
+/// A window `[from, until)` during which one node's network interfaces are
+/// down (an injected fault, e.g. an IOP crash + restart). Traffic touching
+/// the node during the window waits until it closes — messages are delayed,
+/// never dropped, so fault runs stay deterministic and the protocols above
+/// need no retransmission logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NiOutage {
+    /// The node whose NIs are down.
+    pub node: NodeId,
+    /// Start of the outage.
+    pub from: SimTime,
+    /// End of the outage (exclusive).
+    pub until: SimTime,
+}
+
 struct Endpoint<M> {
     send_nic: Resource,
     recv_nic: Resource,
@@ -70,6 +85,9 @@ struct Shared<M> {
     /// One serializing resource per directed link, created on first use
     /// (link model only). A `BTreeMap` so reporting order is deterministic.
     links: RefCell<BTreeMap<Link, Resource>>,
+    /// Injected NI-down windows (empty on the healthy fabric; the empty
+    /// vector adds no awaits anywhere).
+    outages: RefCell<Vec<NiOutage>>,
     messages: Counter,
     bytes: Counter,
 }
@@ -121,6 +139,7 @@ impl<M: 'static> Network<M> {
                 params,
                 endpoints,
                 links: RefCell::new(BTreeMap::new()),
+                outages: RefCell::new(Vec::new()),
                 messages: Counter::new(),
                 bytes: Counter::new(),
             }),
@@ -158,6 +177,34 @@ impl<M: 'static> Network<M> {
         self.shared.bytes.get()
     }
 
+    /// Installs the NI-down windows this fabric honors (replacing any
+    /// previous set). With no outages installed the fabric is byte- and
+    /// event-identical to one that has never heard of faults.
+    pub fn set_outages(&self, outages: Vec<NiOutage>) {
+        *self.shared.outages.borrow_mut() = outages;
+    }
+
+    /// Waits out any outage window covering `node` at the current time.
+    /// The healthy path (no outages installed, or none covering `node` now)
+    /// performs no await at all.
+    async fn wait_out_outage(&self, node: NodeId) {
+        let wait = {
+            let outages = self.shared.outages.borrow();
+            if outages.is_empty() {
+                None
+            } else {
+                let now = self.shared.ctx.now();
+                outages
+                    .iter()
+                    .find(|o| o.node == node && now >= o.from && now < o.until)
+                    .map(|o| o.until - now)
+            }
+        };
+        if let Some(delay) = wait {
+            self.shared.ctx.sleep(delay).await;
+        }
+    }
+
     /// Sends a message and waits until it has been deposited in the
     /// destination node's inbox (sender NI serialization, fabric traversal,
     /// receiver NI deposit).
@@ -172,6 +219,7 @@ impl<M: 'static> Network<M> {
         let sent_at = s.ctx.now();
 
         // Occupy the sending NI while the message streams onto the link.
+        self.wait_out_outage(from).await;
         s.endpoints[from]
             .send_nic
             .use_for(s.params.send_occupancy(bytes))
@@ -180,6 +228,7 @@ impl<M: 'static> Network<M> {
         self.traverse(from, to, bytes).await;
 
         // Occupy the receiving NI while the message is deposited in memory.
+        self.wait_out_outage(to).await;
         s.endpoints[to]
             .recv_nic
             .use_for(s.params.recv_occupancy(bytes))
@@ -200,6 +249,7 @@ impl<M: 'static> Network<M> {
         assert!(to < s.endpoints.len(), "destination {to} out of range");
         let sent_at = s.ctx.now();
 
+        self.wait_out_outage(from).await;
         s.endpoints[from]
             .send_nic
             .use_for(s.params.send_occupancy(bytes))
@@ -208,6 +258,7 @@ impl<M: 'static> Network<M> {
         let net = self.clone();
         s.ctx.spawn(async move {
             net.traverse(from, to, bytes).await;
+            net.wait_out_outage(to).await;
             let s = &net.shared;
             s.endpoints[to]
                 .recv_nic
@@ -517,6 +568,71 @@ mod tests {
         }
         sim.run();
         assert_eq!(*seen.borrow(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ni_outage_delays_traffic_until_the_window_closes() {
+        let mut sim = Sim::new();
+        let ctx = sim.context();
+        let (net, mut inboxes) = build(&sim, 4);
+        let until = SimTime::ZERO + SimDuration::from_millis(5);
+        net.set_outages(vec![NiOutage {
+            node: 1,
+            from: SimTime::ZERO,
+            until,
+        }]);
+        let rx1 = inboxes.remove(1);
+        let delivered_at = Rc::new(Cell::new(SimTime::ZERO));
+        {
+            let net = net.clone();
+            sim.spawn(async move {
+                net.send(0, 1, 8192, 7).await;
+            });
+        }
+        {
+            let ctx = ctx.clone();
+            let delivered_at = Rc::clone(&delivered_at);
+            sim.spawn(async move {
+                rx1.recv().await.expect("message arrives");
+                delivered_at.set(ctx.now());
+            });
+        }
+        sim.run();
+        assert!(
+            delivered_at.get() >= until,
+            "delivered inside the receiver's outage window"
+        );
+        assert_eq!(net.messages_sent(), 1, "outages delay, never drop");
+    }
+
+    #[test]
+    fn no_outages_is_event_identical_to_a_faultless_fabric() {
+        let run = |install_empty: bool| {
+            let mut sim = Sim::new();
+            let (net, mut inboxes) = build(&sim, 4);
+            if install_empty {
+                net.set_outages(Vec::new());
+            }
+            let rx = inboxes.remove(1);
+            {
+                let net = net.clone();
+                sim.spawn(async move {
+                    net.send(0, 1, 8192, 0).await;
+                    net.post(0, 1, 8192, 1).await;
+                });
+            }
+            sim.spawn(async move {
+                let mut got = 0;
+                while got < 2 {
+                    if rx.recv().await.is_some() {
+                        got += 1;
+                    }
+                }
+            });
+            let end = sim.run();
+            (end, sim.events_processed())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -11,7 +11,8 @@
 //!   Memput/Memget-style DMA messages.
 //! * [`patterns`] — HPF array-distribution access patterns.
 //! * [`core`] — the parallel file system: traditional caching, disk-directed
-//!   I/O, the collective API, and the experiment harness.
+//!   I/O, the collective API, fault injection with redundant layouts, and
+//!   the experiment harness.
 //!
 //! The most common entry points are re-exported at the top level:
 //!
@@ -45,7 +46,8 @@ pub use ddio_sim as sim;
 pub use ddio_core::{
     run_transfer, AccessKind, AccessPattern, ArrayShape, CacheConfig, CacheFilter, CacheParams,
     CacheSet, CacheStats, Chunk, CollectiveError, CollectiveFile, ContentionModel, ContentionSet,
-    CostModel, Dist, FileLayout, LayoutPolicy, LinkStat, MachineConfig, Method, NetConfig,
-    PatternInstance, PrefetchPolicy, ReplacementPolicy, SchedPolicy, SchedSet, TopologyKind,
-    TopologySet, TransferOutcome, WritePolicy,
+    CostModel, Dist, FaultConfig, FaultPolicy, FaultSet, FaultStats, FileLayout, LayoutPolicy,
+    LinkStat, MachineConfig, Method, NetConfig, PatternInstance, PrefetchPolicy, RedundancyPolicy,
+    RedundancySet, ReplacementPolicy, SchedPolicy, SchedSet, TopologyKind, TopologySet,
+    TransferOutcome, WritePolicy,
 };

@@ -43,7 +43,7 @@ fn trial_bits(results: &[CellResult]) -> Vec<(String, String, Vec<u64>)> {
 #[test]
 fn jobs_1_and_jobs_8_are_bit_identical_across_invocations() {
     let params = reduced_params();
-    for name in ["mixed-rw", "record-cp-cross"] {
+    for name in ["mixed-rw", "record-cp-cross", "fault-sweep"] {
         let scenario = find(name).expect("registered scenario");
         let serial_a = trial_bits(&run_scenario(&scenario, &params, 1));
         let serial_b = trial_bits(&run_scenario(&scenario, &params, 1));
