@@ -748,9 +748,18 @@ mod tests {
             "\"perf\"",
             "\"sim_events\"",
             "\"wall_s\"",
+            "\"build_wall_secs\"",
+            "\"run_wall_secs\"",
             "\"events_per_sec\"",
         ] {
             assert!(out.contains(landmark), "missing {landmark}:\n{out}");
+        }
+
+        // CSV gets the same per-cell columns.
+        let cmd = parse_run(&args(&["mixed-rw", "--perf", "--format", "csv"]), smoke_env).unwrap();
+        let out = execute_run(&cmd).unwrap();
+        for column in ["sim_events", "build_wall_secs", "run_wall_secs"] {
+            assert!(out.contains(column), "missing CSV column {column}:\n{out}");
         }
 
         // The table format gets a human-readable footer...
@@ -758,10 +767,18 @@ mod tests {
         let out = execute_run(&cmd).unwrap();
         assert!(out.contains("events/sec"), "no perf footer:\n{out}");
 
-        // ...and without the flag nothing perf-related leaks into the output.
-        let cmd = parse_run(&args(&["mixed-rw", "--format", "json"]), smoke_env).unwrap();
-        let out = execute_run(&cmd).unwrap();
-        assert!(!out.contains("\"perf\""), "perf emitted without --perf");
+        // ...and without the flag nothing perf-related leaks into the
+        // golden-bearing formats: wall-clock fields are non-deterministic,
+        // so any leak would break run-to-run bit-identity.
+        for format in ["json", "csv"] {
+            let cmd = parse_run(&args(&["mixed-rw", "--format", format]), smoke_env).unwrap();
+            let out = execute_run(&cmd).unwrap();
+            assert!(!out.contains("perf"), "perf leaked into {format}");
+            assert!(
+                !out.contains("wall_secs") && !out.contains("wall_s"),
+                "wall-clock leaked into {format} without --perf"
+            );
+        }
     }
 
     #[test]

@@ -53,9 +53,11 @@ fn json_cell_perf(r: &CellResult) -> String {
         0.0
     };
     format!(
-        "{{\"sim_events\":{},\"wall_s\":{},\"events_per_sec\":{}}}",
+        "{{\"sim_events\":{},\"wall_s\":{},\"build_wall_secs\":{},\"run_wall_secs\":{},\"events_per_sec\":{}}}",
         r.point.sim_events,
         json_f64(r.point.host_wall_secs),
+        json_f64(r.point.build_wall_secs),
+        json_f64(r.point.run_wall_secs),
         json_f64(events_per_sec)
     )
 }
@@ -298,7 +300,8 @@ fn json_cell(r: &CellResult, perf: bool) -> String {
 /// default `ni-only` model). Axis values are numbers for numeric axes and
 /// strings for symbolic ones (e.g. `topology`). Under `--perf`, each cell
 /// additionally carries a `perf` object (`sim_events`, `wall_s`,
-/// `events_per_sec`) and the document a top-level `perf` object with the
+/// `build_wall_secs`, `run_wall_secs`, `events_per_sec`) and the document a
+/// top-level `perf` object with the
 /// whole run's totals — the `BENCH_*.json` trajectory format.
 pub fn render_json(scale: &Scale, runs: &[ScenarioRun], perf: Option<&RunPerf>) -> String {
     let mut out = String::from("{");
@@ -344,14 +347,15 @@ pub fn render_json(scale: &Scale, runs: &[ScenarioRun], perf: Option<&RunPerf>) 
 
 /// Renders a run as CSV: one header row, then one row per cell across all
 /// scenarios. Axes are packed as `name=value` pairs separated by `;`.
-/// With `perf`, three columns (`sim_events,wall_s,events_per_sec`) are
+/// With `perf`, five columns
+/// (`sim_events,wall_s,build_wall_secs,run_wall_secs,events_per_sec`) are
 /// appended to every row.
 pub fn render_csv(runs: &[ScenarioRun], perf: bool) -> String {
     let mut out = String::from(
         "scenario,pattern,method,record_bytes,layout,axes,seed,n_trials,mean_mibs,std_dev,cv,min,max,hardware_limit_mibs",
     );
     if perf {
-        out.push_str(",sim_events,wall_s,events_per_sec");
+        out.push_str(",sim_events,wall_s,build_wall_secs,run_wall_secs,events_per_sec");
     }
     out.push('\n');
     for run in runs {
@@ -387,9 +391,11 @@ pub fn render_csv(runs: &[ScenarioRun], perf: bool) -> String {
                     0.0
                 };
                 out.push_str(&format!(
-                    ",{},{},{}",
+                    ",{},{},{},{},{}",
                     r.point.sim_events,
                     csv_f64(r.point.host_wall_secs),
+                    csv_f64(r.point.build_wall_secs),
+                    csv_f64(r.point.run_wall_secs),
                     csv_f64(rate)
                 ));
             }

@@ -11,9 +11,9 @@
 //! prefetch, and write-back — which this module splits into three pluggable
 //! policies, mirroring the `ddio_disk::sched` subsystem:
 //!
-//! * [`ReplacementPolicy`] / [`Replacer`]: which resident block to evict
-//!   (LRU, MRU, or a clock/second-chance sweep). Pinned and in-flight
-//!   entries are never eligible under any policy.
+//! * [`ReplacementPolicy`]: which resident block to evict (LRU, MRU, or a
+//!   clock/second-chance sweep). Pinned and in-flight entries are never
+//!   eligible under any policy.
 //! * [`PrefetchPolicy`] / [`Prefetcher`]: which blocks to read ahead after a
 //!   demand read (nothing, the paper's one-block-ahead, or a strided
 //!   prefetcher that infers the per-disk stride of the request stream and
@@ -29,11 +29,17 @@
 //!
 //! The cache here stores block *state*, not the data itself (the simulation
 //! carries descriptors, never user bytes). Concurrency is cooperative: an
-//! entry being fetched is in the `Filling` state and carries an event that
+//! entry being fetched is in the filling state and carries an event that
 //! other interested request threads wait on.
-
-use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+//!
+//! Internally the cache is allocation-free on its hot paths (see DESIGN.md
+//! §10): entries live in a slab (`Vec` + free list) addressed by
+//! generation-checked [`EntryId`] handles like the executor's `TaskId`, an
+//! open-addressed block map replaces the old
+//! `HashMap<u64, Rc<RefCell<CacheEntry>>>`, and recency is an intrusive
+//! doubly-linked list threaded through the slab — the list order *is* the
+//! recency order, so LRU/MRU pick their victim by walking it instead of
+//! scanning and ranking every entry.
 
 use ddio_sim::sync::Event;
 
@@ -74,19 +80,6 @@ impl ReplacementPolicy {
     /// Parses a policy name (the inverse of [`ReplacementPolicy::name`]).
     pub fn parse(s: &str) -> Option<ReplacementPolicy> {
         ReplacementPolicy::ALL.into_iter().find(|p| p.name() == s)
-    }
-
-    /// Builds the replacer implementing this policy.
-    pub fn replacer(self) -> Box<dyn Replacer> {
-        match self {
-            ReplacementPolicy::Lru => Box::new(RecencyReplacer { mru: false }),
-            ReplacementPolicy::Mru => Box::new(RecencyReplacer { mru: true }),
-            ReplacementPolicy::Clock => Box::new(ClockReplacer {
-                ring: Vec::new(),
-                hand: 0,
-                referenced: HashSet::new(),
-            }),
-        }
     }
 }
 
@@ -137,9 +130,7 @@ impl PrefetchPolicy {
         match self {
             PrefetchPolicy::None => Box::new(NoPrefetcher),
             PrefetchPolicy::OneAhead => Box::new(OneAheadPrefetcher),
-            PrefetchPolicy::Strided => Box::new(StridedPrefetcher {
-                last: HashMap::new(),
-            }),
+            PrefetchPolicy::Strided => Box::new(StridedPrefetcher { last: Vec::new() }),
         }
     }
 }
@@ -420,42 +411,33 @@ pub enum FillReason {
     WriteAllocate,
 }
 
-/// State of one cached block.
-#[derive(Debug, Clone)]
-pub enum EntryState {
-    /// A disk read for this block is in flight; waiters block on the event.
-    Filling(Event),
-    /// The block is resident.
-    Present,
-}
+/// A generation-checked handle to a cache slot, packed like the executor's
+/// `TaskId`: slot index in the low 32 bits, slot generation in the high 32.
+/// A handle goes stale when its entry is evicted or removed; the accessors
+/// that take one panic on a stale handle (using one is a protocol bug).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EntryId(u64);
 
-/// A cached block's bookkeeping.
-#[derive(Debug)]
-pub struct CacheEntry {
-    /// File block number.
-    pub block: u64,
-    /// Fill / presence state.
-    pub state: EntryState,
-    /// Distinct bytes written into the block since its last flush.
-    pub written_bytes: u64,
-    /// True if the block has unwritten (dirty) data.
-    pub dirty: bool,
-    /// Number of request threads currently using the entry (pinned entries
-    /// are never evicted).
-    pub pins: u32,
-    /// Recency stamp (larger = more recent); the raw material of the
-    /// recency-based replacement policies.
-    pub recency: u64,
-    /// Why the block was brought in. A prefetched entry flips to `Demand`
-    /// on its first demand hit (counting it as used).
-    pub reason: FillReason,
+impl EntryId {
+    fn pack(index: u32, generation: u32) -> EntryId {
+        EntryId(((generation as u64) << 32) | index as u64)
+    }
+
+    fn index(self) -> usize {
+        self.0 as u32 as usize
+    }
+
+    fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
 }
 
 /// Outcome of a lookup.
 pub enum Lookup {
     /// The block is resident (or being filled); the entry is pinned for the
-    /// caller.
-    Hit(Rc<std::cell::RefCell<CacheEntry>>),
+    /// caller. Waiters for an in-flight fill get the event via
+    /// [`BlockCache::fill_event`].
+    Hit(EntryId),
     /// The block is absent; the caller should call
     /// [`BlockCache::insert_filling`] and fetch it.
     Miss,
@@ -521,126 +503,6 @@ impl CacheStats {
     }
 }
 
-/// A victim candidate handed to a [`Replacer`]: an unpinned, resident block
-/// and its recency stamp.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct VictimCandidate {
-    /// The candidate block.
-    pub block: u64,
-    /// Its recency stamp (larger = touched more recently).
-    pub recency: u64,
-}
-
-/// The replacement half of the cache: notified of every insert, hit, and
-/// removal, and asked to pick a victim among the evictable entries when the
-/// cache is full.
-pub trait Replacer {
-    /// The policy this replacer implements.
-    fn policy(&self) -> ReplacementPolicy;
-
-    /// A new entry was inserted.
-    fn on_insert(&mut self, block: u64);
-
-    /// An existing entry was hit by a lookup.
-    fn on_hit(&mut self, block: u64);
-
-    /// An entry left the cache (evicted or removed).
-    fn on_remove(&mut self, block: u64);
-
-    /// Picks the victim among `candidates` (every unpinned resident entry),
-    /// or `None` if the slice is empty. Recency stamps are unique, so the
-    /// recency-based policies are deterministic regardless of candidate
-    /// order.
-    fn pick_victim(&mut self, candidates: &[VictimCandidate]) -> Option<u64>;
-}
-
-/// LRU and MRU: pick by recency stamp (min for LRU, max for MRU). Stateless —
-/// the cache's own recency stamps carry all the information.
-struct RecencyReplacer {
-    mru: bool,
-}
-
-impl Replacer for RecencyReplacer {
-    fn policy(&self) -> ReplacementPolicy {
-        if self.mru {
-            ReplacementPolicy::Mru
-        } else {
-            ReplacementPolicy::Lru
-        }
-    }
-
-    fn on_insert(&mut self, _block: u64) {}
-    fn on_hit(&mut self, _block: u64) {}
-    fn on_remove(&mut self, _block: u64) {}
-
-    fn pick_victim(&mut self, candidates: &[VictimCandidate]) -> Option<u64> {
-        let pick = if self.mru {
-            candidates.iter().max_by_key(|c| c.recency)
-        } else {
-            candidates.iter().min_by_key(|c| c.recency)
-        };
-        pick.map(|c| c.block)
-    }
-}
-
-/// Clock / second chance: a hand sweeps the entries in insertion order;
-/// entries referenced since the last sweep get one more lap.
-struct ClockReplacer {
-    ring: Vec<u64>,
-    hand: usize,
-    referenced: HashSet<u64>,
-}
-
-impl Replacer for ClockReplacer {
-    fn policy(&self) -> ReplacementPolicy {
-        ReplacementPolicy::Clock
-    }
-
-    fn on_insert(&mut self, block: u64) {
-        self.ring.push(block);
-    }
-
-    fn on_hit(&mut self, block: u64) {
-        self.referenced.insert(block);
-    }
-
-    fn on_remove(&mut self, block: u64) {
-        self.referenced.remove(&block);
-        if let Some(idx) = self.ring.iter().position(|&b| b == block) {
-            self.ring.remove(idx);
-            if idx < self.hand {
-                self.hand -= 1;
-            }
-            if self.ring.is_empty() {
-                self.hand = 0;
-            } else {
-                self.hand %= self.ring.len();
-            }
-        }
-    }
-
-    fn pick_victim(&mut self, candidates: &[VictimCandidate]) -> Option<u64> {
-        if candidates.is_empty() || self.ring.is_empty() {
-            return None;
-        }
-        let evictable: HashSet<u64> = candidates.iter().map(|c| c.block).collect();
-        // At most two laps: the first clears every referenced bit among the
-        // evictable entries, so the second must find a victim.
-        for _ in 0..2 * self.ring.len() {
-            let block = self.ring[self.hand];
-            self.hand = (self.hand + 1) % self.ring.len();
-            if !evictable.contains(&block) {
-                continue;
-            }
-            if self.referenced.remove(&block) {
-                continue; // second chance
-            }
-            return Some(block);
-        }
-        None
-    }
-}
-
 /// The prefetch half of the cache: observes the stream of demand reads and
 /// names the blocks worth reading ahead.
 pub trait Prefetcher {
@@ -649,10 +511,11 @@ pub trait Prefetcher {
 
     /// Called after each demand read of `block`, which lives on disk stream
     /// `disk`; `base_stride` is the file's striping interval (consecutive
-    /// blocks on the same disk are `base_stride` apart). Returns candidate
-    /// blocks to prefetch, in issue order; the caller drops candidates that
-    /// are past EOF or already cached.
-    fn plan(&mut self, disk: usize, block: u64, base_stride: u64) -> Vec<u64>;
+    /// blocks on the same disk are `base_stride` apart). Appends candidate
+    /// blocks to prefetch, in issue order, to `out` (cleared by the caller —
+    /// a reusable buffer, so planning allocates nothing in steady state);
+    /// the caller drops candidates that are past EOF or already cached.
+    fn plan(&mut self, disk: usize, block: u64, base_stride: u64, out: &mut Vec<u64>);
 }
 
 /// No prefetching.
@@ -663,9 +526,7 @@ impl Prefetcher for NoPrefetcher {
         PrefetchPolicy::None
     }
 
-    fn plan(&mut self, _disk: usize, _block: u64, _base_stride: u64) -> Vec<u64> {
-        Vec::new()
-    }
+    fn plan(&mut self, _disk: usize, _block: u64, _base_stride: u64, _out: &mut Vec<u64>) {}
 }
 
 /// The paper's one-block-ahead prefetcher: the next file block on the same
@@ -677,8 +538,8 @@ impl Prefetcher for OneAheadPrefetcher {
         PrefetchPolicy::OneAhead
     }
 
-    fn plan(&mut self, _disk: usize, block: u64, base_stride: u64) -> Vec<u64> {
-        vec![block + base_stride]
+    fn plan(&mut self, _disk: usize, block: u64, base_stride: u64, out: &mut Vec<u64>) {
+        out.push(block + base_stride);
     }
 }
 
@@ -686,8 +547,9 @@ impl Prefetcher for OneAheadPrefetcher {
 /// disk repeat the same nonzero stride, prefetch [`Self::DEPTH`] blocks
 /// ahead along it.
 struct StridedPrefetcher {
-    /// Per disk: the last demand block and the stride that led to it.
-    last: HashMap<usize, (u64, i64)>,
+    /// Per disk (dense, indexed by disk id): the last demand block and the
+    /// stride that led to it.
+    last: Vec<Option<(u64, i64)>>,
 }
 
 impl StridedPrefetcher {
@@ -700,27 +562,115 @@ impl Prefetcher for StridedPrefetcher {
         PrefetchPolicy::Strided
     }
 
-    fn plan(&mut self, disk: usize, block: u64, _base_stride: u64) -> Vec<u64> {
-        let prev = self.last.get(&disk).copied();
+    fn plan(&mut self, disk: usize, block: u64, _base_stride: u64, out: &mut Vec<u64>) {
+        if disk >= self.last.len() {
+            self.last.resize(disk + 1, None);
+        }
+        let prev = self.last[disk];
         let stride = prev.map(|(b, _)| block as i64 - b as i64);
-        self.last.insert(disk, (block, stride.unwrap_or(0)));
-        match (prev, stride) {
-            (Some((_, prev_stride)), Some(stride)) if stride == prev_stride && stride != 0 => (1
-                ..=Self::DEPTH)
-                .filter_map(|k| u64::try_from(block as i64 + stride * k).ok())
-                .collect(),
-            _ => Vec::new(),
+        self.last[disk] = Some((block, stride.unwrap_or(0)));
+        if let (Some((_, prev_stride)), Some(stride)) = (prev, stride) {
+            if stride == prev_stride && stride != 0 {
+                out.extend(
+                    (1..=Self::DEPTH).filter_map(|k| u64::try_from(block as i64 + stride * k).ok()),
+                );
+            }
         }
     }
 }
+
+/// Sentinel for "no slot" in the slab's intrusive links and map cells.
+const NIL: u32 = u32::MAX;
+
+/// One slab slot: a cached block's bookkeeping plus the intrusive links the
+/// replacement policies thread through the slab.
+struct Slot {
+    /// Bumped every time the slot is freed, invalidating old [`EntryId`]s.
+    generation: u32,
+    /// True while the slot holds a live entry.
+    occupied: bool,
+    /// File block number.
+    block: u64,
+    /// Distinct bytes written into the block since its last flush.
+    written_bytes: u64,
+    /// Request threads currently using the entry (pinned entries are never
+    /// evicted).
+    pins: u32,
+    /// True if the block has unwritten (dirty) data.
+    dirty: bool,
+    /// Clock second-chance bit (set on every hit; only clock reads it).
+    referenced: bool,
+    /// Why the block was brought in. A prefetched entry flips to `Demand`
+    /// on its first demand hit (counting it as used).
+    reason: FillReason,
+    /// The fill event while a disk read is in flight; `None` once present.
+    fill: Option<Event>,
+    /// Intrusive recency list: previous (less recent) slot, or [`NIL`].
+    prev: u32,
+    /// Intrusive recency list: next (more recent) slot, or [`NIL`].
+    next: u32,
+}
+
+impl Slot {
+    fn vacant() -> Slot {
+        Slot {
+            generation: 0,
+            occupied: false,
+            block: 0,
+            written_bytes: 0,
+            pins: 0,
+            dirty: false,
+            referenced: false,
+            reason: FillReason::Demand,
+            fill: None,
+            prev: NIL,
+            next: NIL,
+        }
+    }
+
+    /// Evictability under every policy: unpinned and fully fetched.
+    fn evictable(&self) -> bool {
+        self.pins == 0 && self.fill.is_none()
+    }
+}
+
+/// One cell of the open-addressed block map; `slot == NIL` means empty.
+#[derive(Clone, Copy)]
+struct MapCell {
+    block: u64,
+    slot: u32,
+}
+
+const EMPTY_CELL: MapCell = MapCell {
+    block: 0,
+    slot: NIL,
+};
 
 /// The policy-composed block cache.
 pub struct BlockCache {
     capacity: usize,
     config: CacheConfig,
-    entries: HashMap<u64, Rc<std::cell::RefCell<CacheEntry>>>,
-    replacer: Box<dyn Replacer>,
-    tick: u64,
+    /// Entry slab; freed slots are recycled via `free` with a generation
+    /// bump, so the steady state allocates nothing per insert/evict.
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    /// Live entries (occupied slots).
+    len: usize,
+    /// Open-addressed block → slot map (Fibonacci hashing, linear probing,
+    /// backward-shift deletion). Power-of-two sized, pre-sized from the
+    /// capacity so steady state never rehashes.
+    map: Vec<MapCell>,
+    /// `64 - log2(map.len())`: the Fibonacci-hash shift.
+    map_shift: u32,
+    map_len: usize,
+    /// Intrusive recency list: least recently touched slot.
+    lru_head: u32,
+    /// Intrusive recency list: most recently touched slot.
+    lru_tail: u32,
+    /// Clock-policy state: blocks in insertion order and the sweep hand
+    /// (empty/unused under LRU and MRU).
+    clock_ring: Vec<u64>,
+    clock_hand: usize,
     /// Number of entries currently dirty, maintained incrementally so the
     /// per-write-request [`BlockCache::dirty_count`] is O(1).
     dirty: usize,
@@ -745,15 +695,168 @@ impl BlockCache {
     /// Panics if `capacity` is zero.
     pub fn with_config(capacity: usize, config: CacheConfig) -> Self {
         assert!(capacity > 0, "cache capacity must be non-zero");
+        // Pre-size for the capacity plus the occasional pinned overflow; the
+        // map stays under ~50% load at capacity.
+        let map_size = (capacity * 2).next_power_of_two().max(8);
         BlockCache {
             capacity,
             config,
-            entries: HashMap::new(),
-            replacer: config.replacement.replacer(),
-            tick: 0,
+            slots: Vec::with_capacity(capacity + 1),
+            free: Vec::new(),
+            len: 0,
+            map: vec![EMPTY_CELL; map_size],
+            map_shift: 64 - map_size.trailing_zeros(),
+            map_len: 0,
+            lru_head: NIL,
+            lru_tail: NIL,
+            clock_ring: Vec::new(),
+            clock_hand: 0,
             dirty: 0,
             stats: CacheStats::default(),
         }
+    }
+
+    // ---- open-addressed block map ------------------------------------
+
+    fn map_home(&self, block: u64) -> usize {
+        (block.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> self.map_shift) as usize
+    }
+
+    fn map_get(&self, block: u64) -> Option<u32> {
+        let mask = self.map.len() - 1;
+        let mut i = self.map_home(block);
+        loop {
+            let cell = self.map[i];
+            if cell.slot == NIL {
+                return None;
+            }
+            if cell.block == block {
+                return Some(cell.slot);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Inserts a `block → slot` binding; the block must not be present.
+    fn map_insert(&mut self, block: u64, slot: u32) {
+        if (self.map_len + 1) * 4 > self.map.len() * 3 {
+            self.map_grow();
+        }
+        let mask = self.map.len() - 1;
+        let mut i = self.map_home(block);
+        while self.map[i].slot != NIL {
+            i = (i + 1) & mask;
+        }
+        self.map[i] = MapCell { block, slot };
+        self.map_len += 1;
+    }
+
+    fn map_grow(&mut self) {
+        let new_size = self.map.len() * 2;
+        let old = std::mem::replace(&mut self.map, vec![EMPTY_CELL; new_size]);
+        self.map_shift = 64 - new_size.trailing_zeros();
+        let mask = new_size - 1;
+        for cell in old {
+            if cell.slot == NIL {
+                continue;
+            }
+            let mut i = self.map_home(cell.block);
+            while self.map[i].slot != NIL {
+                i = (i + 1) & mask;
+            }
+            self.map[i] = cell;
+        }
+    }
+
+    /// Removes `block`'s binding (backward-shift deletion keeps probe chains
+    /// intact without tombstones), returning its slot if it was present.
+    fn map_remove(&mut self, block: u64) -> Option<u32> {
+        let mask = self.map.len() - 1;
+        let mut i = self.map_home(block);
+        loop {
+            let cell = self.map[i];
+            if cell.slot == NIL {
+                return None;
+            }
+            if cell.block == block {
+                break;
+            }
+            i = (i + 1) & mask;
+        }
+        let removed = self.map[i].slot;
+        let mut j = i;
+        loop {
+            j = (j + 1) & mask;
+            let cell = self.map[j];
+            if cell.slot == NIL {
+                break;
+            }
+            let home = self.map_home(cell.block);
+            // `cell` may fill the hole at `i` iff its probe chain passes
+            // through `i` (its home is cyclically no later than `i`).
+            if (j.wrapping_sub(home) & mask) >= (j.wrapping_sub(i) & mask) {
+                self.map[i] = cell;
+                i = j;
+            }
+        }
+        self.map[i] = EMPTY_CELL;
+        self.map_len -= 1;
+        Some(removed)
+    }
+
+    // ---- intrusive recency list --------------------------------------
+
+    fn list_detach(&mut self, idx: u32) {
+        let (prev, next) = {
+            let s = &self.slots[idx as usize];
+            (s.prev, s.next)
+        };
+        if prev == NIL {
+            self.lru_head = next;
+        } else {
+            self.slots[prev as usize].next = next;
+        }
+        if next == NIL {
+            self.lru_tail = prev;
+        } else {
+            self.slots[next as usize].prev = prev;
+        }
+    }
+
+    fn list_push_tail(&mut self, idx: u32) {
+        let old_tail = self.lru_tail;
+        {
+            let s = &mut self.slots[idx as usize];
+            s.prev = old_tail;
+            s.next = NIL;
+        }
+        if old_tail == NIL {
+            self.lru_head = idx;
+        } else {
+            self.slots[old_tail as usize].next = idx;
+        }
+        self.lru_tail = idx;
+    }
+
+    // ---- slab --------------------------------------------------------
+
+    /// Frees a slot (after its map binding and list links are gone).
+    fn slot_free(&mut self, idx: u32) {
+        let slot = &mut self.slots[idx as usize];
+        slot.occupied = false;
+        slot.generation = slot.generation.wrapping_add(1);
+        slot.fill = None;
+        self.free.push(idx);
+        self.len -= 1;
+    }
+
+    fn slot_of(&self, id: EntryId) -> &Slot {
+        let slot = &self.slots[id.index()];
+        assert!(
+            slot.occupied && slot.generation == id.generation(),
+            "stale cache handle"
+        );
+        slot
     }
 
     /// The configured capacity in blocks.
@@ -768,12 +871,12 @@ impl BlockCache {
 
     /// Number of blocks currently cached (including ones being filled).
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// True if nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
     /// Statistics so far.
@@ -796,27 +899,27 @@ impl BlockCache {
     /// Returns true if `block` is resident or being filled (without touching
     /// recency or stats) — used by the prefetcher to avoid duplicate fetches.
     pub fn contains(&self, block: u64) -> bool {
-        self.entries.contains_key(&block)
+        self.map_get(block).is_some()
     }
 
     /// Looks up `block`, updating recency and hit/miss statistics. On a hit
     /// the entry is pinned; the caller must call [`BlockCache::unpin`] when
     /// done with it.
     pub fn lookup(&mut self, block: u64) -> Lookup {
-        self.tick += 1;
-        match self.entries.get(&block) {
-            Some(entry) => {
+        match self.map_get(block) {
+            Some(idx) => {
                 self.stats.hits += 1;
-                let mut e = entry.borrow_mut();
-                if e.reason == FillReason::Prefetch {
+                let slot = &mut self.slots[idx as usize];
+                if slot.reason == FillReason::Prefetch {
                     self.stats.prefetch_used += 1;
-                    e.reason = FillReason::Demand;
+                    slot.reason = FillReason::Demand;
                 }
-                e.recency = self.tick;
-                e.pins += 1;
-                drop(e);
-                self.replacer.on_hit(block);
-                Lookup::Hit(Rc::clone(entry))
+                slot.pins += 1;
+                slot.referenced = true;
+                let generation = slot.generation;
+                self.list_detach(idx);
+                self.list_push_tail(idx);
+                Lookup::Hit(EntryId::pack(idx, generation))
             }
             None => {
                 self.stats.misses += 1;
@@ -825,7 +928,7 @@ impl BlockCache {
         }
     }
 
-    /// Inserts a new entry in the `Filling` state (pinned), evicting a block
+    /// Inserts a new entry in the filling state (pinned), evicting a block
     /// chosen by the replacement policy if the cache is full. The caller
     /// receives the evicted block (if any) and must flush it if dirty, then
     /// perform the disk read, then call [`BlockCache::mark_present`].
@@ -833,71 +936,84 @@ impl BlockCache {
     /// # Panics
     ///
     /// Panics if the block is already cached.
-    pub fn insert_filling(
-        &mut self,
-        block: u64,
-        reason: FillReason,
-    ) -> (Rc<std::cell::RefCell<CacheEntry>>, Option<Evicted>) {
+    pub fn insert_filling(&mut self, block: u64, reason: FillReason) -> (EntryId, Option<Evicted>) {
         assert!(
-            !self.entries.contains_key(&block),
+            self.map_get(block).is_none(),
             "block {block} already cached"
         );
         let evicted = self.make_room();
-        self.tick += 1;
         if reason == FillReason::Prefetch {
             self.stats.prefetches += 1;
         }
-        let entry = Rc::new(std::cell::RefCell::new(CacheEntry {
-            block,
-            state: EntryState::Filling(Event::new()),
-            written_bytes: 0,
-            dirty: false,
-            pins: 1,
-            recency: self.tick,
-            reason,
-        }));
-        self.entries.insert(block, Rc::clone(&entry));
-        self.replacer.on_insert(block);
-        (entry, evicted)
+        let idx = match self.free.pop() {
+            Some(idx) => idx,
+            None => {
+                self.slots.push(Slot::vacant());
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let slot = &mut self.slots[idx as usize];
+        slot.occupied = true;
+        slot.block = block;
+        slot.written_bytes = 0;
+        slot.pins = 1;
+        slot.dirty = false;
+        slot.referenced = false;
+        slot.reason = reason;
+        slot.fill = Some(Event::new());
+        let generation = slot.generation;
+        self.list_push_tail(idx);
+        self.map_insert(block, idx);
+        self.len += 1;
+        if self.config.replacement == ReplacementPolicy::Clock {
+            self.clock_ring.push(block);
+        }
+        (EntryId::pack(idx, generation), evicted)
     }
 
-    /// Marks a `Filling` entry as resident and wakes every waiter.
+    /// The fill event of an entry still being filled (`None` once present).
+    /// Waiters clone the event and block on it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is stale (its entry was evicted or removed).
+    pub fn fill_event(&self, id: EntryId) -> Option<Event> {
+        self.slot_of(id).fill.clone()
+    }
+
+    /// Marks a filling entry as resident and wakes every waiter.
     pub fn mark_present(&mut self, block: u64) {
-        let entry = self
-            .entries
-            .get(&block)
+        let idx = self
+            .map_get(block)
             .unwrap_or_else(|| panic!("mark_present on uncached block {block}"));
-        let mut e = entry.borrow_mut();
-        if let EntryState::Filling(event) = &e.state {
+        if let Some(event) = self.slots[idx as usize].fill.take() {
             event.set();
         }
-        e.state = EntryState::Present;
     }
 
     /// Unpins an entry previously returned by [`BlockCache::lookup`] or
     /// [`BlockCache::insert_filling`].
     pub fn unpin(&mut self, block: u64) {
-        if let Some(entry) = self.entries.get(&block) {
-            let mut e = entry.borrow_mut();
-            assert!(e.pins > 0, "unpin of unpinned block {block}");
-            e.pins -= 1;
+        if let Some(idx) = self.map_get(block) {
+            let slot = &mut self.slots[idx as usize];
+            assert!(slot.pins > 0, "unpin of unpinned block {block}");
+            slot.pins -= 1;
         }
     }
 
     /// Records `len` bytes written into `block`; returns the total distinct
     /// bytes written so far (the write policy decides what to flush when).
     pub fn record_write(&mut self, block: u64, len: u64) -> u64 {
-        let entry = self
-            .entries
-            .get(&block)
+        let idx = self
+            .map_get(block)
             .unwrap_or_else(|| panic!("record_write on uncached block {block}"));
-        let mut e = entry.borrow_mut();
-        e.written_bytes += len;
-        if !e.dirty {
-            e.dirty = true;
+        let slot = &mut self.slots[idx as usize];
+        slot.written_bytes += len;
+        if !slot.dirty {
+            slot.dirty = true;
             self.dirty += 1;
         }
-        e.written_bytes
+        slot.written_bytes
     }
 
     /// Marks `block` clean again after *all* of its dirty data reached the
@@ -905,13 +1021,13 @@ impl BlockCache {
     /// of a point-in-time snapshot that concurrent writes may have outrun,
     /// use [`BlockCache::complete_flush`].
     pub fn mark_clean(&mut self, block: u64) {
-        if let Some(entry) = self.entries.get(&block) {
-            let mut e = entry.borrow_mut();
-            if e.dirty {
+        if let Some(idx) = self.map_get(block) {
+            let slot = &mut self.slots[idx as usize];
+            if slot.dirty {
                 self.dirty -= 1;
             }
-            e.dirty = false;
-            e.written_bytes = 0;
+            slot.dirty = false;
+            slot.written_bytes = 0;
         }
     }
 
@@ -921,25 +1037,29 @@ impl BlockCache {
     /// flush). No-op if the block was evicted mid-flight (the eviction path
     /// flushed it again itself).
     pub fn complete_flush(&mut self, block: u64, flushed: u64) {
-        if let Some(entry) = self.entries.get(&block) {
-            let mut e = entry.borrow_mut();
-            e.written_bytes = e.written_bytes.saturating_sub(flushed);
-            let still_dirty = e.written_bytes > 0;
-            if e.dirty && !still_dirty {
+        if let Some(idx) = self.map_get(block) {
+            let slot = &mut self.slots[idx as usize];
+            slot.written_bytes = slot.written_bytes.saturating_sub(flushed);
+            let still_dirty = slot.written_bytes > 0;
+            if slot.dirty && !still_dirty {
                 self.dirty -= 1;
             }
-            e.dirty = still_dirty;
+            slot.dirty = still_dirty;
         }
     }
 
     /// Removes `block` from the cache entirely (used after write-behind of a
     /// full block, freeing the buffer immediately).
     pub fn remove(&mut self, block: u64) {
-        if let Some(entry) = self.entries.remove(&block) {
-            if entry.borrow().dirty {
+        if let Some(idx) = self.map_remove(block) {
+            if self.slots[idx as usize].dirty {
                 self.dirty -= 1;
             }
-            self.replacer.on_remove(block);
+            self.list_detach(idx);
+            self.slot_free(idx);
+            if self.config.replacement == ReplacementPolicy::Clock {
+                self.clock_remove(block);
+            }
         }
     }
 
@@ -948,12 +1068,10 @@ impl BlockCache {
     /// watermark sweep.
     pub fn dirty_blocks(&self) -> Vec<(u64, u64)> {
         let mut v: Vec<(u64, u64)> = self
-            .entries
-            .values()
-            .filter_map(|e| {
-                let e = e.borrow();
-                e.dirty.then_some((e.block, e.written_bytes))
-            })
+            .slots
+            .iter()
+            .filter(|s| s.occupied && s.dirty)
+            .map(|s| (s.block, s.written_bytes))
             .collect();
         v.sort_unstable();
         v
@@ -963,47 +1081,131 @@ impl BlockCache {
     /// entries if the cache is at capacity. Returns what was evicted, or
     /// `None` if nothing needed to be (or could be) evicted.
     fn make_room(&mut self) -> Option<Evicted> {
-        if self.entries.len() < self.capacity {
+        if self.len < self.capacity {
             return None;
         }
-        let candidates: Vec<VictimCandidate> = self
-            .entries
-            .values()
-            .filter_map(|e| {
-                let e = e.borrow();
-                (e.pins == 0 && matches!(e.state, EntryState::Present)).then_some(VictimCandidate {
-                    block: e.block,
-                    recency: e.recency,
-                })
-            })
-            .collect();
-        match self.replacer.pick_victim(&candidates) {
+        let victim = match self.config.replacement {
+            // The recency list is ordered least→most recent, so the first
+            // evictable slot from the head is exactly the minimum-recency
+            // candidate the old stamp-ranking pass picked (stamps were
+            // unique, so there were never ties to break).
+            ReplacementPolicy::Lru => {
+                let mut i = self.lru_head;
+                loop {
+                    if i == NIL {
+                        break None;
+                    }
+                    let s = &self.slots[i as usize];
+                    if s.evictable() {
+                        break Some(s.block);
+                    }
+                    i = s.next;
+                }
+            }
+            ReplacementPolicy::Mru => {
+                let mut i = self.lru_tail;
+                loop {
+                    if i == NIL {
+                        break None;
+                    }
+                    let s = &self.slots[i as usize];
+                    if s.evictable() {
+                        break Some(s.block);
+                    }
+                    i = s.prev;
+                }
+            }
+            ReplacementPolicy::Clock => self.clock_pick(),
+        };
+        match victim {
             Some(block) => {
-                let entry = self
-                    .entries
-                    .remove(&block)
+                let idx = self
+                    .map_remove(block)
                     .unwrap_or_else(|| panic!("replacer picked uncached block {block}"));
-                self.replacer.on_remove(block);
-                let e = entry.borrow();
+                let slot = &self.slots[idx as usize];
                 self.stats.evictions += 1;
-                if e.dirty {
+                if slot.dirty {
                     self.stats.dirty_evictions += 1;
                     self.dirty -= 1;
                 }
-                if e.reason == FillReason::Prefetch {
+                if slot.reason == FillReason::Prefetch {
                     self.stats.prefetch_wasted += 1;
                 }
-                Some(Evicted {
-                    block: e.block,
-                    dirty: e.dirty,
-                    written_bytes: e.written_bytes,
-                })
+                let evicted = Evicted {
+                    block,
+                    dirty: slot.dirty,
+                    written_bytes: slot.written_bytes,
+                };
+                self.list_detach(idx);
+                self.slot_free(idx);
+                if self.config.replacement == ReplacementPolicy::Clock {
+                    self.clock_remove(block);
+                }
+                Some(evicted)
             }
             None => {
                 // Everything is pinned or in flight; allow a temporary
                 // overflow rather than deadlocking.
                 self.stats.overflows += 1;
                 None
+            }
+        }
+    }
+
+    /// Clock / second chance: the hand sweeps the ring in insertion order;
+    /// an evictable entry referenced since the last sweep gets its bit
+    /// cleared and one more lap, the first unreferenced evictable entry is
+    /// the victim. With no evictable entry at all the hand does not move
+    /// (exactly the pre-slab behavior).
+    fn clock_pick(&mut self) -> Option<u64> {
+        if self.clock_ring.is_empty() || !self.any_evictable() {
+            return None;
+        }
+        // At most two laps: the first clears every referenced bit among the
+        // evictable entries, so the second must find a victim.
+        for _ in 0..2 * self.clock_ring.len() {
+            let block = self.clock_ring[self.clock_hand];
+            self.clock_hand = (self.clock_hand + 1) % self.clock_ring.len();
+            let idx = self
+                .map_get(block)
+                .expect("clock ring holds an uncached block");
+            let slot = &mut self.slots[idx as usize];
+            if !slot.evictable() {
+                continue;
+            }
+            if slot.referenced {
+                slot.referenced = false; // second chance
+                continue;
+            }
+            return Some(block);
+        }
+        None
+    }
+
+    fn any_evictable(&self) -> bool {
+        let mut i = self.lru_head;
+        while i != NIL {
+            let s = &self.slots[i as usize];
+            if s.evictable() {
+                return true;
+            }
+            i = s.next;
+        }
+        false
+    }
+
+    /// Drops `block` from the clock ring, keeping the hand on the entry it
+    /// was about to examine.
+    fn clock_remove(&mut self, block: u64) {
+        if let Some(idx) = self.clock_ring.iter().position(|&b| b == block) {
+            self.clock_ring.remove(idx);
+            if idx < self.clock_hand {
+                self.clock_hand -= 1;
+            }
+            if self.clock_ring.is_empty() {
+                self.clock_hand = 0;
+            } else {
+                self.clock_hand %= self.clock_ring.len();
             }
         }
     }
@@ -1022,7 +1224,7 @@ mod tests {
         c.mark_present(7);
         c.unpin(7);
         match c.lookup(7) {
-            Lookup::Hit(e) => assert!(matches!(e.borrow().state, EntryState::Present)),
+            Lookup::Hit(id) => assert!(c.fill_event(id).is_none(), "present entry has no fill"),
             Lookup::Miss => panic!("expected hit"),
         }
         let s = c.stats();
@@ -1207,13 +1409,25 @@ mod tests {
     fn filling_entries_expose_their_event_to_waiters() {
         let mut c = BlockCache::new(2);
         let (entry, _) = c.insert_filling(3, FillReason::Demand);
-        let event = match &entry.borrow().state {
-            EntryState::Filling(ev) => ev.clone(),
-            EntryState::Present => panic!("should be filling"),
-        };
+        let event = c.fill_event(entry).expect("fresh insert is filling");
         assert!(!event.is_set());
         c.mark_present(3);
         assert!(event.is_set());
+        assert!(c.fill_event(entry).is_none(), "present entry has no fill");
+    }
+
+    #[test]
+    #[should_panic(expected = "stale cache handle")]
+    fn stale_handles_are_rejected() {
+        let mut c = BlockCache::new(1);
+        let (entry, _) = c.insert_filling(3, FillReason::Demand);
+        c.mark_present(3);
+        c.unpin(3);
+        c.remove(3);
+        // The slot was recycled (generation bumped); the old handle must not
+        // silently alias the new occupant.
+        let (_e2, _) = c.insert_filling(4, FillReason::Demand);
+        let _ = c.fill_event(entry);
     }
 
     #[test]
@@ -1241,31 +1455,42 @@ mod tests {
         assert_eq!(c.stats().prefetch_used, 1);
     }
 
+    /// Test shim: collect a prefetcher's plan into a fresh Vec.
+    fn plan(p: &mut dyn Prefetcher, disk: usize, block: u64, base_stride: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        p.plan(disk, block, base_stride, &mut out);
+        out
+    }
+
     #[test]
     fn one_ahead_prefetcher_matches_the_paper() {
         let mut p = PrefetchPolicy::OneAhead.prefetcher();
-        assert_eq!(p.plan(0, 10, 16), vec![26]);
-        assert_eq!(PrefetchPolicy::None.prefetcher().plan(0, 10, 16), vec![]);
+        assert_eq!(plan(p.as_mut(), 0, 10, 16), vec![26]);
+        assert_eq!(
+            plan(PrefetchPolicy::None.prefetcher().as_mut(), 0, 10, 16),
+            vec![]
+        );
     }
 
     #[test]
     fn strided_prefetcher_locks_onto_a_repeating_stride() {
         let mut p = PrefetchPolicy::Strided.prefetcher();
-        assert_eq!(p.plan(0, 0, 16), vec![], "first read: no history");
-        assert_eq!(p.plan(0, 16, 16), vec![], "one stride seen: tentative");
+        let p = p.as_mut();
+        assert_eq!(plan(p, 0, 0, 16), vec![], "first read: no history");
+        assert_eq!(plan(p, 0, 16, 16), vec![], "one stride seen: tentative");
         assert_eq!(
-            p.plan(0, 32, 16),
+            plan(p, 0, 32, 16),
             vec![48, 64, 80, 96],
             "stride confirmed: run ahead"
         );
         // A different disk's stream is tracked independently.
-        assert_eq!(p.plan(1, 100, 16), vec![]);
+        assert_eq!(plan(p, 1, 100, 16), vec![]);
         // Breaking the stride resets confidence.
-        assert_eq!(p.plan(0, 5, 16), vec![]);
+        assert_eq!(plan(p, 0, 5, 16), vec![]);
         // Negative strides work too (reverse scans).
-        assert_eq!(p.plan(0, 1, 16), vec![]);
+        assert_eq!(plan(p, 0, 1, 16), vec![]);
         // Candidates below zero are dropped.
-        assert_eq!(p.plan(0, 0, 16), vec![], "stride changed (-4 vs -1)");
+        assert_eq!(plan(p, 0, 0, 16), vec![], "stride changed (-4 vs -1)");
     }
 
     #[test]

@@ -32,7 +32,7 @@ use ddio_patterns::AccessPattern;
 use ddio_sim::stats::Summary;
 
 use crate::config::{LayoutPolicy, MachineConfig, Method};
-use crate::machine::{run_transfer_in, TransferOutcome};
+use crate::machine::{run_transfer_in, MachineArena, TransferOutcome};
 
 /// One data point: a (pattern, method, record size) cell averaged over
 /// several independent trials, exactly as in the paper's figures.
@@ -57,6 +57,12 @@ pub struct DataPoint {
     /// Host wall-clock seconds spent across all trials (non-deterministic;
     /// surfaced only by `--perf` reporting, never in goldens).
     pub host_wall_secs: f64,
+    /// Host wall-clock seconds spent building machines across all trials
+    /// (non-deterministic; `--perf` only).
+    pub build_wall_secs: f64,
+    /// Host wall-clock seconds spent inside the simulation runs across all
+    /// trials (non-deterministic; `--perf` only).
+    pub run_wall_secs: f64,
 }
 
 impl DataPoint {
@@ -87,23 +93,34 @@ pub fn run_data_point(
     let mut last = None;
     let mut sim_events = 0u64;
     let mut host_wall_secs = 0.0f64;
-    // One simulator serves every trial: `run_transfer_in` resets it between
-    // uses, so task-slot and timer-wheel allocations are paid once per cell.
-    let mut sim = ddio_sim::Sim::new();
-    for t in 0..trials {
-        let outcome = run_transfer_in(
-            &mut sim,
-            config,
-            method,
-            pattern,
-            record_bytes,
-            base_seed + t as u64,
-        );
-        throughputs.push(outcome.throughput_mibs);
-        sim_events += outcome.sim_events;
-        host_wall_secs += outcome.host_wall_secs;
-        last = Some(outcome);
+    let mut build_wall_secs = 0.0f64;
+    let mut run_wall_secs = 0.0f64;
+    // One arena serves every trial of every cell this worker thread runs:
+    // `run_transfer_in` resets it between uses, so executor task slots,
+    // timer-wheel levels, and layout tables are paid for once per thread.
+    thread_local! {
+        static ARENA: std::cell::RefCell<MachineArena> =
+            std::cell::RefCell::new(MachineArena::new());
     }
+    ARENA.with(|arena| {
+        let arena = &mut *arena.borrow_mut();
+        for t in 0..trials {
+            let outcome = run_transfer_in(
+                arena,
+                config,
+                method,
+                pattern,
+                record_bytes,
+                base_seed + t as u64,
+            );
+            throughputs.push(outcome.throughput_mibs);
+            sim_events += outcome.sim_events;
+            host_wall_secs += outcome.host_wall_secs;
+            build_wall_secs += outcome.build_wall_secs;
+            run_wall_secs += outcome.run_wall_secs;
+            last = Some(outcome);
+        }
+    });
     DataPoint {
         pattern: pattern.name(),
         method,
@@ -114,6 +131,8 @@ pub fn run_data_point(
         last_outcome: last.expect("at least one trial ran"),
         sim_events,
         host_wall_secs,
+        build_wall_secs,
+        run_wall_secs,
     }
 }
 
@@ -364,6 +383,8 @@ mod tests {
             last_outcome: outcome.clone(),
             sim_events: outcome.sim_events,
             host_wall_secs: outcome.host_wall_secs,
+            build_wall_secs: outcome.build_wall_secs,
+            run_wall_secs: outcome.run_wall_secs,
         };
         let points = vec![
             mk("ra", Method::TC, 3.0),

@@ -49,11 +49,27 @@ pub struct FileLayout {
     parity: Vec<BlockLocation>,
 }
 
+/// Recycled backing storage for [`FileLayout::generate_in`]: the location
+/// tables of a retired layout, kept so back-to-back trials regenerate into
+/// the same allocations instead of growing fresh ones.
+#[derive(Debug, Default)]
+pub struct LayoutStorage {
+    locations: Vec<BlockLocation>,
+    mirrors: Vec<BlockLocation>,
+    parity: Vec<BlockLocation>,
+}
+
 impl FileLayout {
     /// Builds the layout for `config`, drawing physical positions from `rng`
     /// (each disk gets an independent stream so varying the disk count does
     /// not reshuffle the others).
     pub fn generate(config: &MachineConfig, rng: &SimRng) -> FileLayout {
+        Self::generate_in(config, rng, LayoutStorage::default())
+    }
+
+    /// [`FileLayout::generate`], regenerating into `storage`'s allocations.
+    /// The produced layout is bit-identical to a fresh `generate`.
+    pub fn generate_in(config: &MachineConfig, rng: &SimRng, storage: LayoutStorage) -> FileLayout {
         config.validate();
         let n_blocks = config.n_blocks();
         let n_disks = config.n_disks;
@@ -103,7 +119,15 @@ impl FileLayout {
 
         // Assign positions to file blocks in stripe order.
         let mut next_on_disk = vec![0usize; n_disks];
-        let mut locations = Vec::with_capacity(n_blocks as usize);
+        let LayoutStorage {
+            mut locations,
+            mut mirrors,
+            mut parity,
+        } = storage;
+        locations.clear();
+        locations.reserve(n_blocks as usize);
+        mirrors.clear();
+        parity.clear();
         for block in 0..n_blocks {
             let disk = (block % n_disks as u64) as usize;
             let slot = next_on_disk[disk];
@@ -134,8 +158,6 @@ impl FileLayout {
                 }
             }
         };
-        let mut mirrors = Vec::new();
-        let mut parity = Vec::new();
         match config.redundancy {
             RedundancyPolicy::None => {}
             RedundancyPolicy::Mirrored => {
@@ -175,6 +197,19 @@ impl FileLayout {
             redundancy: config.redundancy,
             mirrors,
             parity,
+        }
+    }
+
+    /// Retires the layout, reclaiming its backing allocations for a future
+    /// [`FileLayout::generate_in`].
+    pub fn into_storage(mut self) -> LayoutStorage {
+        self.locations.clear();
+        self.mirrors.clear();
+        self.parity.clear();
+        LayoutStorage {
+            locations: self.locations,
+            mirrors: self.mirrors,
+            parity: self.parity,
         }
     }
 

@@ -87,8 +87,8 @@ pub use fault::{
     FaultConfig, FaultEvent, FaultKind, FaultPolicy, FaultSet, FaultStats, RedundancyPolicy,
     RedundancySet,
 };
-pub use layout::{BlockLocation, FileLayout};
-pub use machine::{run_transfer, TransferOutcome, VerifyReport};
+pub use layout::{BlockLocation, FileLayout, LayoutStorage};
+pub use machine::{run_transfer, MachineArena, TransferOutcome, VerifyReport};
 pub use msg::FsMessage;
 pub use util::{IntervalSet, PendingCounter};
 

@@ -12,7 +12,7 @@ use ddio_disk::{spawn_disk_faulty, DiskHandle, DiskParams, DiskRequest, DiskStat
 use ddio_net::{Envelope, LinkStat, NetConfig, Network};
 use ddio_patterns::{AccessPattern, PatternInstance};
 use ddio_sim::stats::throughput_mibs;
-use ddio_sim::sync::{Receiver, Resource};
+use ddio_sim::sync::{Receiver, Resource, ResourceName};
 use ddio_sim::{Sim, SimContext, SimDuration, SimRng};
 
 use crate::cache::CacheStats;
@@ -318,6 +318,14 @@ pub struct TransferOutcome {
     /// Host wall-clock seconds spent building and running the transfer.
     /// Non-deterministic; reported only by perf tooling, never in goldens.
     pub host_wall_secs: f64,
+    /// Host wall-clock seconds spent building the machine (layout, fabric,
+    /// nodes, disks) before the simulation started. Non-deterministic;
+    /// perf tooling only.
+    pub build_wall_secs: f64,
+    /// Host wall-clock seconds spent inside the simulation run itself.
+    /// Non-deterministic; perf tooling only. Build plus run is slightly
+    /// less than `host_wall_secs`, which also covers stat collection.
+    pub run_wall_secs: f64,
 }
 
 impl TransferOutcome {
@@ -402,23 +410,44 @@ pub fn run_transfer(
     record_bytes: u64,
     seed: u64,
 ) -> TransferOutcome {
-    let mut sim = Sim::new();
-    run_transfer_in(&mut sim, config, method, pattern, record_bytes, seed)
+    let mut arena = MachineArena::new();
+    run_transfer_in(&mut arena, config, method, pattern, record_bytes, seed)
 }
 
-/// Runs one collective transfer on a caller-provided simulator.
+/// Reusable cross-transfer state: the simulator plus recycled machine
+/// allocations. The harness runs many trials and many cells back to back;
+/// routing them through one arena reuses the executor's task slots and
+/// timers ([`Sim::reset`]) and regenerates the file layout into the previous
+/// trial's tables instead of growing fresh ones.
+#[derive(Default)]
+pub struct MachineArena {
+    sim: Sim,
+    /// The previous transfer's layout, held until the next [`Sim::reset`]
+    /// drops the task futures that still reference it — only then can its
+    /// storage be reclaimed.
+    last_layout: Option<Rc<FileLayout>>,
+}
+
+impl MachineArena {
+    /// An empty arena; the first transfer through it pays all allocations.
+    pub fn new() -> MachineArena {
+        MachineArena::default()
+    }
+}
+
+/// Runs one collective transfer on a caller-provided arena.
 ///
-/// The simulator is [`Sim::reset`] before use, so its task-slot and timer
-/// allocations are reused across transfers — the harness runs many trials
-/// and many cells back to back, and rebuilding the executor for each one
-/// was measurable overhead. Semantics are identical to [`run_transfer`].
+/// The arena's simulator is [`Sim::reset`] before use and its recycled
+/// allocations are regenerated in place, so back-to-back transfers reuse
+/// task slots, timers, and layout tables. Semantics are identical to
+/// [`run_transfer`].
 ///
 /// # Panics
 ///
 /// Panics if the configuration is invalid or the record size does not divide
 /// the file size.
 pub fn run_transfer_in(
-    sim: &mut Sim,
+    arena: &mut MachineArena,
     config: &MachineConfig,
     method: Method,
     pattern: AccessPattern,
@@ -426,7 +455,16 @@ pub fn run_transfer_in(
     seed: u64,
 ) -> TransferOutcome {
     let wall_start = std::time::Instant::now();
+    let sim = &mut arena.sim;
     sim.reset();
+    // The reset above dropped any still-pending task futures from the last
+    // transfer, releasing their layout references: reclaim the tables.
+    let layout_storage = arena
+        .last_layout
+        .take()
+        .and_then(|rc| Rc::try_unwrap(rc).ok())
+        .map(FileLayout::into_storage)
+        .unwrap_or_default();
     config.validate();
     assert!(
         config.file_bytes % record_bytes == 0,
@@ -437,7 +475,11 @@ pub fn run_transfer_in(
     let pattern_instance = PatternInstance::new(pattern, config.n_cps, n_records, record_bytes);
 
     let rng = SimRng::seed_from_u64(seed);
-    let layout = Rc::new(FileLayout::generate(config, &rng.derive(0xD15C)));
+    let layout = Rc::new(FileLayout::generate_in(
+        config,
+        &rng.derive(0xD15C),
+        layout_storage,
+    ));
 
     // The fault schedule comes from its own derived stream, so enabling
     // faults never perturbs the layout (and vice versa). Static and absent
@@ -481,7 +523,15 @@ pub fn run_transfer_in(
         cps.push(Rc::new(CpParts {
             cp,
             node: config.cp_node(cp),
-            cpu: Resource::new(ctx.clone(), &format!("cp{cp}.cpu"), 1),
+            cpu: Resource::new(
+                ctx.clone(),
+                ResourceName::Indexed {
+                    prefix: "cp",
+                    index: cp,
+                    suffix: ".cpu",
+                },
+                1,
+            ),
         }));
     }
 
@@ -513,7 +563,11 @@ pub fn run_transfer_in(
         iop_inboxes.push(inboxes.remove(0));
         let bus = ScsiBus::with_bandwidth(
             ctx.clone(),
-            &format!("iop{iop}.bus"),
+            ResourceName::Indexed {
+                prefix: "iop",
+                index: iop,
+                suffix: ".bus",
+            },
             config.bus_bytes_per_sec,
             config.bus_arbitration,
         );
@@ -527,7 +581,15 @@ pub fn run_transfer_in(
         iops.push(Rc::new(IopParts {
             iop,
             node: config.iop_node(iop),
-            cpu: Resource::new(ctx.clone(), &format!("iop{iop}.cpu"), 1),
+            cpu: Resource::new(
+                ctx.clone(),
+                ResourceName::Indexed {
+                    prefix: "iop",
+                    index: iop,
+                    suffix: ".cpu",
+                },
+                1,
+            ),
             bus,
             disks,
         }));
@@ -580,7 +642,10 @@ pub fn run_transfer_in(
         }
     }
 
+    let build_wall_secs = wall_start.elapsed().as_secs_f64();
+    let run_wall_start = std::time::Instant::now();
     let end = sim.run();
+    let run_wall_secs = run_wall_start.elapsed().as_secs_f64();
     let elapsed = end.duration_since(ddio_sim::SimTime::ZERO);
 
     let disk_stats: Vec<DiskStats> = iops
@@ -621,6 +686,7 @@ pub fn run_transfer_in(
     let ni_recv_utilization = (0..config.n_nodes())
         .map(|n| net.recv_utilization(n))
         .collect();
+    arena.last_layout = Some(Rc::clone(&layout));
     TransferOutcome {
         method,
         pattern: pattern.name(),
@@ -652,8 +718,10 @@ pub fn run_transfer_in(
         bus_utilization,
         cache_stats,
         verify: verify_report,
-        sim_events: sim.events_processed(),
+        sim_events: arena.sim.events_processed(),
         host_wall_secs: wall_start.elapsed().as_secs_f64(),
+        build_wall_secs,
+        run_wall_secs,
     }
 }
 

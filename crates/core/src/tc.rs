@@ -26,7 +26,7 @@ use ddio_sim::sync::{oneshot, Barrier, CountdownEvent};
 use ddio_sim::{Sim, SimContext};
 
 use crate::cache::{
-    BlockCache, CacheConfig, EntryState, FillReason, Lookup, Prefetcher, WriteAction, WritePolicy,
+    BlockCache, CacheConfig, FillReason, Lookup, Prefetcher, WriteAction, WritePolicy,
 };
 use crate::machine::{CpParts, Inbox, IopParts, RunContext};
 use crate::msg::FsMessage;
@@ -74,6 +74,8 @@ struct IopServer {
     cache: RefCell<BlockCache>,
     /// The prefetcher observing this IOP's demand-read stream.
     prefetcher: RefCell<Box<dyn Prefetcher>>,
+    /// Reusable buffer the prefetcher plans into (no per-read allocation).
+    prefetch_buf: RefCell<Vec<u64>>,
     /// True while a watermark flush sweep is running (at most one at a time).
     sweeping: Cell<bool>,
     /// Outstanding background work (prefetches and write-behind flushes).
@@ -138,11 +140,8 @@ impl IopServer {
         let lookup = self.cache.borrow_mut().lookup(block);
         match lookup {
             Lookup::Hit(entry) => {
-                let event = match &entry.borrow().state {
-                    EntryState::Filling(ev) => Some(ev.clone()),
-                    EntryState::Present => None,
-                };
-                if let Some(ev) = event {
+                let fill = self.cache.borrow().fill_event(entry);
+                if let Some(ev) = fill {
                     ev.wait().await;
                 }
             }
@@ -174,15 +173,19 @@ impl IopServer {
     fn maybe_prefetch(self: &Rc<Self>, ctx: &SimContext, block: u64) {
         let stride = self.run.config.n_disks as u64;
         let disk = self.run.layout.disk_of_block(block);
-        let candidates = self.prefetcher.borrow_mut().plan(disk, block, stride);
-        for next in candidates {
+        let mut buf = self.prefetch_buf.borrow_mut();
+        buf.clear();
+        self.prefetcher
+            .borrow_mut()
+            .plan(disk, block, stride, &mut buf);
+        for &next in buf.iter() {
             if next >= self.run.layout.n_blocks() || self.cache.borrow().contains(next) {
                 continue;
             }
             let server = Rc::clone(self);
             let ctx2 = ctx.clone();
             self.background.begin();
-            ctx.spawn(async move {
+            ctx.spawn_detached(async move {
                 let costs = server.run.config.costs;
                 server.parts.cpu.use_for(costs.iop_cache_cpu).await;
                 // Re-check: another request may have brought the block in
@@ -219,7 +222,7 @@ impl IopServer {
         }
         let server = Rc::clone(self);
         self.background.begin();
-        ctx.spawn(async move {
+        ctx.spawn_detached(async move {
             let low = WritePolicy::low_watermark(server.cache.borrow().capacity());
             loop {
                 let dirty = server.cache.borrow().dirty_blocks();
@@ -289,7 +292,7 @@ impl IopServer {
                         let server = Rc::clone(&self);
                         let bytes = self.block_bytes(block);
                         self.background.begin();
-                        ctx.spawn(async move {
+                        ctx.spawn_detached(async move {
                             server.flush_block(block, bytes).await;
                             server.cache.borrow_mut().mark_clean(block);
                             server.background.end();
@@ -456,6 +459,7 @@ pub(crate) fn spawn_transfer(
             run: Rc::clone(run),
             cache: RefCell::new(BlockCache::with_config(cache_capacity, cache)),
             prefetcher: RefCell::new(cache.prefetch.prefetcher()),
+            prefetch_buf: RefCell::new(Vec::new()),
             sweeping: Cell::new(false),
             background: PendingCounter::new(),
         });
@@ -473,7 +477,7 @@ pub(crate) fn spawn_transfer(
                     } => {
                         let server = Rc::clone(&server);
                         let task_ctx = server_ctx.clone();
-                        server_ctx.spawn(async move {
+                        server_ctx.spawn_detached(async move {
                             server
                                 .handle_request(task_ctx, id, cp, op, block, offset, len)
                                 .await;
@@ -481,7 +485,7 @@ pub(crate) fn spawn_transfer(
                     }
                     FsMessage::TcSync { cp } => {
                         let server = Rc::clone(&server);
-                        server_ctx.spawn(async move {
+                        server_ctx.spawn_detached(async move {
                             server.handle_sync(cp).await;
                         });
                     }
@@ -546,7 +550,7 @@ pub(crate) fn spawn_transfer(
                 inflight.begin();
                 let client = Rc::clone(&client);
                 let inflight2 = inflight.clone();
-                worker_ctx.spawn(async move {
+                worker_ctx.spawn_detached(async move {
                     for sub in stream {
                         Rc::clone(&client).do_request(sub, op).await;
                     }

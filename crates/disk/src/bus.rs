@@ -4,7 +4,7 @@
 //! data transfers between drive caches and IOP memory; when several disks
 //! share one bus (Figures 6-8) it becomes the bottleneck.
 
-use ddio_sim::sync::Resource;
+use ddio_sim::sync::{Resource, ResourceName};
 use ddio_sim::{SimContext, SimDuration};
 
 /// Peak bandwidth of the paper's SCSI bus, in bytes per second.
@@ -23,7 +23,7 @@ pub struct ScsiBus {
 
 impl ScsiBus {
     /// Creates a bus with the paper's parameters (10 MB/s).
-    pub fn new(ctx: SimContext, name: &str) -> Self {
+    pub fn new(ctx: SimContext, name: impl Into<ResourceName>) -> Self {
         Self::with_bandwidth(ctx, name, SCSI_BUS_BANDWIDTH, SCSI_ARBITRATION)
     }
 
@@ -34,7 +34,7 @@ impl ScsiBus {
     /// Panics if `bytes_per_sec` is not positive.
     pub fn with_bandwidth(
         ctx: SimContext,
-        name: &str,
+        name: impl Into<ResourceName>,
         bytes_per_sec: f64,
         arbitration: SimDuration,
     ) -> Self {

@@ -14,12 +14,11 @@
 //! directed link), so overlapping routes serialize and the fabric itself can
 //! become the bottleneck.
 
-use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use ddio_sim::stats::Counter;
-use ddio_sim::sync::{unbounded, Receiver, Resource, Sender};
+use ddio_sim::sync::{unbounded, Receiver, Resource, ResourceName, Sender};
 use ddio_sim::{SimContext, SimDuration, SimTime};
 
 use crate::fabric::{ContentionModel, NetConfig};
@@ -83,11 +82,19 @@ struct Shared<M> {
     params: NetworkParams,
     endpoints: Vec<Endpoint<M>>,
     /// One serializing resource per directed link, created on first use
-    /// (link model only). A `BTreeMap` so reporting order is deterministic.
-    links: RefCell<BTreeMap<Link, Resource>>,
+    /// (link model only). A dense `size × size` table pre-sized from the
+    /// topology, indexed `from * size + to`; row-major iteration gives the
+    /// same deterministic `(from, to)` reporting order the old `BTreeMap`
+    /// produced, without per-insert node allocation. Empty under `ni-only`.
+    links: RefCell<Vec<Option<Resource>>>,
+    /// Row stride of `links` (the topology size).
+    link_stride: usize,
     /// Injected NI-down windows (empty on the healthy fabric; the empty
     /// vector adds no awaits anywhere).
     outages: RefCell<Vec<NiOutage>>,
+    /// Fast flag mirroring `!outages.is_empty()` so the per-message healthy
+    /// path skips even the `RefCell` borrow.
+    have_outages: Cell<bool>,
     messages: Counter,
     bytes: Counter,
 }
@@ -125,12 +132,35 @@ impl<M: 'static> Network<M> {
         for node in 0..nodes {
             let (tx, rx) = unbounded();
             endpoints.push(Endpoint {
-                send_nic: Resource::new(ctx.clone(), &format!("node{node}.send-nic"), 1),
-                recv_nic: Resource::new(ctx.clone(), &format!("node{node}.recv-nic"), 1),
+                send_nic: Resource::new(
+                    ctx.clone(),
+                    ResourceName::Indexed {
+                        prefix: "node",
+                        index: node,
+                        suffix: ".send-nic",
+                    },
+                    1,
+                ),
+                recv_nic: Resource::new(
+                    ctx.clone(),
+                    ResourceName::Indexed {
+                        prefix: "node",
+                        index: node,
+                        suffix: ".recv-nic",
+                    },
+                    1,
+                ),
                 inbox: tx,
             });
             inboxes.push(rx);
         }
+        // Only the link model ever touches per-link resources; don't pay the
+        // size² table under ni-only.
+        let link_stride = topology.size();
+        let link_table = match config.contention {
+            ContentionModel::NiOnly => Vec::new(),
+            ContentionModel::Link => vec![None; link_stride * link_stride],
+        };
         let net = Network {
             shared: Rc::new(Shared {
                 ctx,
@@ -138,8 +168,10 @@ impl<M: 'static> Network<M> {
                 topology,
                 params,
                 endpoints,
-                links: RefCell::new(BTreeMap::new()),
+                links: RefCell::new(link_table),
+                link_stride,
                 outages: RefCell::new(Vec::new()),
+                have_outages: Cell::new(false),
                 messages: Counter::new(),
                 bytes: Counter::new(),
             }),
@@ -181,24 +213,24 @@ impl<M: 'static> Network<M> {
     /// previous set). With no outages installed the fabric is byte- and
     /// event-identical to one that has never heard of faults.
     pub fn set_outages(&self, outages: Vec<NiOutage>) {
+        self.shared.have_outages.set(!outages.is_empty());
         *self.shared.outages.borrow_mut() = outages;
     }
 
     /// Waits out any outage window covering `node` at the current time.
     /// The healthy path (no outages installed, or none covering `node` now)
-    /// performs no await at all.
+    /// performs no await at all — not even a `RefCell` borrow.
     async fn wait_out_outage(&self, node: NodeId) {
+        if !self.shared.have_outages.get() {
+            return;
+        }
         let wait = {
             let outages = self.shared.outages.borrow();
-            if outages.is_empty() {
-                None
-            } else {
-                let now = self.shared.ctx.now();
-                outages
-                    .iter()
-                    .find(|o| o.node == node && now >= o.from && now < o.until)
-                    .map(|o| o.until - now)
-            }
+            let now = self.shared.ctx.now();
+            outages
+                .iter()
+                .find(|o| o.node == node && now >= o.from && now < o.until)
+                .map(|o| o.until - now)
         };
         if let Some(delay) = wait {
             self.shared.ctx.sleep(delay).await;
@@ -256,7 +288,7 @@ impl<M: 'static> Network<M> {
             .await;
 
         let net = self.clone();
-        s.ctx.spawn(async move {
+        s.ctx.spawn_detached(async move {
             net.traverse(from, to, bytes).await;
             net.wait_out_outage(to).await;
             let s = &net.shared;
@@ -293,14 +325,23 @@ impl<M: 'static> Network<M> {
         }
     }
 
-    /// The serializing resource of one directed link, created on first use.
+    /// The serializing resource of one directed link, created on first use
+    /// in the pre-sized table.
     fn link_resource(&self, link: Link) -> Resource {
         let s = &self.shared;
-        s.links
-            .borrow_mut()
-            .entry(link)
-            .or_insert_with(|| {
-                Resource::new(s.ctx.clone(), &format!("link{}-{}", link.0, link.1), 1)
+        let idx = link.0 * s.link_stride + link.1;
+        s.links.borrow_mut()[idx]
+            .get_or_insert_with(|| {
+                Resource::new(
+                    s.ctx.clone(),
+                    ResourceName::Pair {
+                        prefix: "link",
+                        a: link.0,
+                        sep: "-",
+                        b: link.1,
+                    },
+                    1,
+                )
             })
             .clone()
     }
@@ -339,15 +380,19 @@ impl<M: 'static> Network<M> {
     /// under the `ni-only` model (no link is ever charged) and for links no
     /// message crossed.
     pub fn link_stats(&self) -> Vec<LinkStat> {
+        let stride = self.shared.link_stride;
         self.shared
             .links
             .borrow()
             .iter()
-            .map(|(&(from, to), r)| LinkStat {
-                from,
-                to,
-                messages: r.acquisitions(),
-                busy: r.busy_time(),
+            .enumerate()
+            .filter_map(|(idx, slot)| {
+                slot.as_ref().map(|r| LinkStat {
+                    from: idx / stride,
+                    to: idx % stride,
+                    messages: r.acquisitions(),
+                    busy: r.busy_time(),
+                })
             })
             .collect()
     }
@@ -357,7 +402,8 @@ impl<M: 'static> Network<M> {
         self.shared
             .links
             .borrow()
-            .values()
+            .iter()
+            .flatten()
             .map(Resource::busy_time)
             .sum()
     }

@@ -50,7 +50,7 @@
 //! assert_eq!(end, ddio_sim::SimTime::ZERO + SimDuration::from_millis(5));
 //! ```
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::future::Future;
@@ -91,13 +91,13 @@ thread_local! {
     /// route wake-ups back to their simulation through this registry without
     /// holding a strong reference (which would leak the state through the
     /// task → context → state cycle).
-    static REGISTRY: RefCell<Vec<(u64, Weak<RefCell<SimState>>)>> =
+    static REGISTRY: RefCell<Vec<(u64, Weak<SimCore>)>> =
         const { RefCell::new(Vec::new()) };
 
     /// The task currently being polled by the executor on this thread, used
     /// by [`TaskRef::capture`] so primitives can wake by task id instead of
     /// cloning a `Waker`.
-    static CURRENT: RefCell<Option<(TaskId, Weak<RefCell<SimState>>)>> =
+    static CURRENT: RefCell<Option<(TaskId, Weak<SimCore>)>> =
         const { RefCell::new(None) };
 }
 
@@ -116,10 +116,21 @@ struct SimShared {
 /// On the owning thread it finds its simulation through the thread-local
 /// registry and pushes straight onto the ready queue; from any other thread
 /// it falls back to the mutex-protected foreign queue.
+///
+/// The task id is atomic so one waker (and its `Arc` allocation) can be
+/// reused by every task that occupies the same slab slot: spawning re-points
+/// the id instead of building a fresh waker. Machines spawn a detached task
+/// per posted message, so spawn cost is a hot path.
 struct TaskWaker {
     sim_id: u64,
-    id: TaskId,
+    id: AtomicU64,
     shared: Arc<SimShared>,
+}
+
+impl TaskWaker {
+    fn task_id(&self) -> TaskId {
+        TaskId(self.id.load(Ordering::Relaxed))
+    }
 }
 
 impl Wake for TaskWaker {
@@ -134,8 +145,8 @@ impl Wake for TaskWaker {
                 // If the upgrade fails the simulation is being torn down and
                 // the wake-up can be dropped.
                 Some((_, weak)) => {
-                    if let Some(state) = weak.upgrade() {
-                        state.borrow_mut().ready.push_back(self.id);
+                    if let Some(core) = weak.upgrade() {
+                        core.state.borrow_mut().ready.push_back(self.task_id());
                     }
                     true
                 }
@@ -147,7 +158,7 @@ impl Wake for TaskWaker {
                 .foreign
                 .lock()
                 .expect("foreign wake queue mutex poisoned")
-                .push(self.id);
+                .push(self.task_id());
             self.shared.pending.store(true, Ordering::Release);
         }
     }
@@ -165,10 +176,7 @@ impl Wake for TaskWaker {
 pub struct TaskRef(TaskRefInner);
 
 enum TaskRefInner {
-    Task {
-        id: TaskId,
-        state: Weak<RefCell<SimState>>,
-    },
+    Task { id: TaskId, state: Weak<SimCore> },
     Foreign(Waker),
 }
 
@@ -193,8 +201,8 @@ impl TaskRef {
     pub fn wake(self) {
         match self.0 {
             TaskRefInner::Task { id, state } => {
-                if let Some(state) = state.upgrade() {
-                    state.borrow_mut().ready.push_back(id);
+                if let Some(core) = state.upgrade() {
+                    core.state.borrow_mut().ready.push_back(id);
                 }
             }
             TaskRefInner::Foreign(waker) => waker.wake(),
@@ -205,13 +213,13 @@ impl TaskRef {
 /// Restores the previous [`CURRENT`] task on drop, so the marker stays
 /// correct even if a task's `poll` panics.
 struct CurrentGuard {
-    prev: Option<(TaskId, Weak<RefCell<SimState>>)>,
+    prev: Option<(TaskId, Weak<SimCore>)>,
 }
 
 impl CurrentGuard {
-    fn enter(id: TaskId, state: Weak<RefCell<SimState>>) -> CurrentGuard {
+    fn enter(id: TaskId, core: &Rc<SimCore>) -> CurrentGuard {
         CurrentGuard {
-            prev: CURRENT.with(|c| c.borrow_mut().replace((id, state))),
+            prev: CURRENT.with(|c| c.borrow_mut().replace((id, core.self_weak.clone()))),
         }
     }
 }
@@ -450,16 +458,37 @@ impl TimerWheel {
     }
 }
 
-/// A slab slot owning one task and its waker (created once at spawn).
+/// A slab slot owning one task and its waker.
+///
+/// The waker (and the `TaskWaker` allocation beneath it) is created once when
+/// the slot first comes into existence and then reused by every subsequent
+/// occupant: spawning re-points `ctl`'s atomic id. A standard `Waker` clone
+/// held across its task's completion may therefore spuriously wake the
+/// slot's next occupant — harmless for well-behaved futures, and the
+/// in-crate primitives wake by exact `TaskId` (generation-checked) instead.
 struct Slot {
     gen: u32,
     task: Option<BoxedTask>,
+    /// `None` only while the task is checked out by the run loop.
     waker: Option<Waker>,
+    /// The same allocation `waker` wraps, kept for re-pointing its id.
+    ctl: Arc<TaskWaker>,
+}
+
+/// The shared heart of one simulation: the clock in a [`Cell`] so reading it
+/// never takes the `RefCell` (contexts and guards call `now()` several times
+/// per event), and everything else behind the `RefCell`.
+struct SimCore {
+    clock: Cell<SimTime>,
+    state: RefCell<SimState>,
+    /// A weak self-reference (set at construction), so [`TaskRef::capture`]
+    /// can mint waiter handles from the raw `CURRENT` pointer without going
+    /// through the registry.
+    self_weak: Weak<SimCore>,
 }
 
 /// Mutable simulation state shared between the executor and [`SimContext`]s.
 struct SimState {
-    now: SimTime,
     timers: TimerWheel,
     timer_seq: u64,
     /// Slab of task slots; `free` holds recyclable indices.
@@ -478,7 +507,6 @@ struct SimState {
 impl SimState {
     fn new(sim_id: u64, tasks: usize) -> Self {
         SimState {
-            now: SimTime::ZERO,
             timers: TimerWheel::new(),
             timer_seq: 0,
             slots: Vec::with_capacity(tasks),
@@ -494,38 +522,43 @@ impl SimState {
         }
     }
 
-    /// Installs a task in a free slot (creating its waker) and marks it
-    /// runnable. The single entry point for both root and in-task spawns
-    /// keeps wake ordering identical between them.
+    /// Installs a task in a free slot (re-pointing the slot's reusable waker)
+    /// and marks it runnable. The single entry point for both root and
+    /// in-task spawns keeps wake ordering identical between them.
     fn spawn_boxed(&mut self, task: BoxedTask) -> TaskId {
         let index = match self.free.pop() {
             Some(index) => index,
             None => {
                 assert!(self.slots.len() < u32::MAX as usize, "task slab exhausted");
+                let ctl = Arc::new(TaskWaker {
+                    sim_id: self.sim_id,
+                    id: AtomicU64::new(0),
+                    shared: Arc::clone(&self.shared),
+                });
                 self.slots.push(Slot {
                     gen: 0,
                     task: None,
-                    waker: None,
+                    waker: Some(Waker::from(Arc::clone(&ctl))),
+                    ctl,
                 });
                 (self.slots.len() - 1) as u32
             }
         };
-        let sim_id = self.sim_id;
-        let shared = Arc::clone(&self.shared);
         let slot = &mut self.slots[index as usize];
         let id = TaskId::pack(index, slot.gen);
+        debug_assert!(slot.waker.is_some(), "free slot missing its waker");
+        slot.ctl.id.store(id.0, Ordering::Relaxed);
         slot.task = Some(task);
-        slot.waker = Some(Waker::from(Arc::new(TaskWaker { sim_id, id, shared })));
         self.live += 1;
         self.ready.push_back(id);
         id
     }
 
-    fn register_timer(&mut self, deadline: SimTime, task: TaskId) {
+    fn register_timer(&mut self, deadline: SimTime, task: TaskId, now: SimTime) {
         let seq = self.timer_seq;
         self.timer_seq += 1;
         self.timers
-            .insert(deadline.as_nanos(), seq, task, self.now.as_nanos());
+            .insert(deadline.as_nanos(), seq, task, now.as_nanos());
     }
 
     /// Adopts wake-ups that arrived from foreign threads (cold path).
@@ -544,7 +577,7 @@ impl SimState {
 /// The discrete-event simulator: owns the clock, the event calendar, and all
 /// spawned tasks.
 pub struct Sim {
-    state: Rc<RefCell<SimState>>,
+    core: Rc<SimCore>,
     sim_id: u64,
 }
 
@@ -564,9 +597,13 @@ impl Sim {
     /// concurrently live tasks, avoiding slab regrowth during the run.
     pub fn with_capacity(tasks: usize) -> Self {
         let sim_id = NEXT_SIM_ID.fetch_add(1, Ordering::Relaxed);
-        let state = Rc::new(RefCell::new(SimState::new(sim_id, tasks)));
-        REGISTRY.with(|r| r.borrow_mut().push((sim_id, Rc::downgrade(&state))));
-        Sim { state, sim_id }
+        let core = Rc::new_cyclic(|self_weak| SimCore {
+            clock: Cell::new(SimTime::ZERO),
+            state: RefCell::new(SimState::new(sim_id, tasks)),
+            self_weak: self_weak.clone(),
+        });
+        REGISTRY.with(|r| r.borrow_mut().push((sim_id, Rc::downgrade(&core))));
+        Sim { core, sim_id }
     }
 
     /// Returns the simulation to its initial state — time zero, no tasks, no
@@ -580,7 +617,8 @@ impl Sim {
         // Run task destructors with the state unborrowed: they may wake other
         // tasks or drop sync primitives that call back into the state.
         drop(doomed);
-        let mut st = self.state.borrow_mut();
+        self.core.clock.set(SimTime::ZERO);
+        let mut st = self.core.state.borrow_mut();
         let st = &mut *st;
         st.free.clear();
         for (index, slot) in st.slots.iter().enumerate().rev() {
@@ -589,7 +627,6 @@ impl Sim {
         }
         st.live = 0;
         st.ready.clear();
-        st.now = SimTime::ZERO;
         st.timer_seq = 0;
         st.events_processed = 0;
         st.timers.clear();
@@ -601,16 +638,17 @@ impl Sim {
         st.shared.pending.store(false, Ordering::Relaxed);
     }
 
-    /// Takes every live task (and its waker) out of the slab, bumping slot
-    /// generations so stale ids cannot reach future occupants. Dropping the
-    /// returned tasks must happen with the state unborrowed.
-    fn take_tasks(&mut self) -> Vec<(Option<BoxedTask>, Option<Waker>)> {
-        let mut st = self.state.borrow_mut();
+    /// Takes every live task out of the slab, bumping slot generations so
+    /// stale ids cannot reach future occupants. The slots keep their reusable
+    /// wakers. Dropping the returned tasks must happen with the state
+    /// unborrowed.
+    fn take_tasks(&mut self) -> Vec<Option<BoxedTask>> {
+        let mut st = self.core.state.borrow_mut();
         st.slots
             .iter_mut()
             .map(|slot| {
                 slot.gen = slot.gen.wrapping_add(1);
-                (slot.task.take(), slot.waker.take())
+                slot.task.take()
             })
             .collect()
     }
@@ -619,7 +657,7 @@ impl Sim {
     /// further tasks. Handles are cheap to clone.
     pub fn context(&self) -> SimContext {
         SimContext {
-            state: Rc::clone(&self.state),
+            core: Rc::clone(&self.core),
         }
     }
 
@@ -632,19 +670,19 @@ impl Sim {
         F: Future<Output = ()> + 'static,
     {
         let task: BoxedTask = Box::pin(future);
-        self.state.borrow_mut().spawn_boxed(task)
+        self.core.state.borrow_mut().spawn_boxed(task)
     }
 
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
-        self.state.borrow().now
+        self.core.clock.get()
     }
 
     /// Number of events (task polls and timer firings) processed so far.
     ///
     /// Useful for profiling the simulator itself.
     pub fn events_processed(&self) -> u64 {
-        self.state.borrow().events_processed
+        self.core.state.borrow().events_processed
     }
 
     /// Runs the simulation until no task can make further progress (all tasks
@@ -661,31 +699,53 @@ impl Sim {
     /// the run stopped (either quiescence or `limit`).
     pub fn run_until(&mut self, limit: SimTime) -> SimTime {
         loop {
-            // Poll the next runnable task, in FIFO wake order.
+            // Pop the next runnable task and check it out of its slot under a
+            // single borrow, in FIFO wake order. Stale wake-ups (completed
+            // generation, or a task already checked out) are skipped without
+            // counting as events.
             let next = {
-                let mut st = self.state.borrow_mut();
+                let mut st = self.core.state.borrow_mut();
                 // Cold path: wake-ups from other threads (the mutex inside
                 // drain_foreign provides the ordering; the flag is a hint).
                 if st.shared.pending.load(Ordering::Relaxed) {
                     st.shared.pending.store(false, Ordering::Relaxed);
                     st.drain_foreign();
                 }
-                st.ready.pop_front()
+                loop {
+                    let Some(id) = st.ready.pop_front() else {
+                        break None;
+                    };
+                    let Some(slot) = st.slots.get_mut(id.index()) else {
+                        continue;
+                    };
+                    if slot.gen != id.generation() {
+                        continue;
+                    }
+                    let Some(task) = slot.task.take() else {
+                        continue;
+                    };
+                    let waker = slot.waker.take().expect("live slot without waker");
+                    st.events_processed += 1;
+                    break Some((id, task, waker));
+                }
             };
-            if let Some(id) = next {
-                self.poll_task(id);
+            if let Some((id, task, waker)) = next {
+                self.poll_task(id, task, waker);
                 continue;
             }
 
             // Nothing runnable: advance the clock to the next timer.
-            let mut st = self.state.borrow_mut();
+            let mut st = self.core.state.borrow_mut();
             let st = &mut *st;
             match st.timers.next_deadline(limit.as_nanos()) {
                 None => break,
                 Some(deadline) => {
                     let deadline = SimTime::from_nanos(deadline);
-                    debug_assert!(deadline >= st.now, "event calendar went backwards");
-                    st.now = deadline;
+                    debug_assert!(
+                        deadline >= self.core.clock.get(),
+                        "event calendar went backwards"
+                    );
+                    self.core.clock.set(deadline);
                     // Fire every timer with this deadline before polling, so
                     // simultaneous events are handled in registration order.
                     st.events_processed += st.timers.fire_at(deadline.as_nanos(), &mut st.ready);
@@ -695,9 +755,9 @@ impl Sim {
         // A pending timer past the limit still advances the clock to the
         // limit itself (the caller asked for that much simulated time).
         {
-            let mut st = self.state.borrow_mut();
-            if limit != SimTime::MAX && !st.timers.is_empty() && limit > st.now {
-                st.now = limit;
+            let st = self.core.state.borrow();
+            if limit != SimTime::MAX && !st.timers.is_empty() && limit > self.core.clock.get() {
+                self.core.clock.set(limit);
             }
         }
         self.now()
@@ -706,39 +766,26 @@ impl Sim {
     /// Returns the number of tasks that have been spawned but not yet
     /// completed (including blocked tasks).
     pub fn live_tasks(&self) -> usize {
-        self.state.borrow().live
+        self.core.state.borrow().live
     }
 
-    fn poll_task(&mut self, id: TaskId) {
+    /// Polls a task already checked out of its slot by the run loop.
+    fn poll_task(&mut self, id: TaskId, mut task: BoxedTask, waker: Waker) {
         let index = id.index();
-        let (mut task, waker) = {
-            let mut st = self.state.borrow_mut();
-            let Some(slot) = st.slots.get_mut(index) else {
-                return;
-            };
-            if slot.gen != id.generation() {
-                // Already completed; a stale wake-up is harmless.
-                return;
-            }
-            let Some(task) = slot.task.take() else {
-                return;
-            };
-            let waker = slot.waker.take().expect("live slot without waker");
-            st.events_processed += 1;
-            (task, waker)
-        };
         let poll = {
-            let _current = CurrentGuard::enter(id, Rc::downgrade(&self.state));
+            let _current = CurrentGuard::enter(id, &self.core);
             let mut cx = Context::from_waker(&waker);
             task.as_mut().poll(&mut cx)
         };
         {
-            let mut st = self.state.borrow_mut();
+            let mut st = self.core.state.borrow_mut();
             let slot = &mut st.slots[index];
+            // The waker goes back either way: pending tasks need it for their
+            // next poll, completed slots keep it for their next occupant.
+            slot.waker = Some(waker);
             match poll {
                 Poll::Pending => {
                     slot.task = Some(task);
-                    slot.waker = Some(waker);
                     return;
                 }
                 Poll::Ready(()) => {
@@ -748,10 +795,9 @@ impl Sim {
                 }
             }
         }
-        // Completed: drop the task body and waker with the state unborrowed —
+        // Completed: drop the task body with the state unborrowed —
         // destructors may wake other tasks or spawn.
         drop(task);
-        drop(waker);
     }
 }
 
@@ -769,13 +815,13 @@ impl Drop for Sim {
 /// A cloneable handle to the running simulation, used from inside tasks.
 #[derive(Clone)]
 pub struct SimContext {
-    state: Rc<RefCell<SimState>>,
+    core: Rc<SimCore>,
 }
 
 impl SimContext {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
-        self.state.borrow().now
+        self.core.clock.get()
     }
 
     /// Suspends the calling task for `duration` of simulated time.
@@ -832,30 +878,57 @@ impl SimContext {
             }
         };
         let task: BoxedTask = Box::pin(wrapped);
-        let id = self.state.borrow_mut().spawn_boxed(task);
+        let id = self.core.state.borrow_mut().spawn_boxed(task);
         JoinHandle { id, slot }
     }
 
-    /// Registers a timer waking the task currently being polled.
+    /// Spawns a fire-and-forget task: runnable immediately, exactly like
+    /// [`SimContext::spawn`], but with none of the join machinery — boxing
+    /// the future is the only allocation. Wake ordering and event counts are
+    /// identical to `spawn` (both go through the same slot installer), so the
+    /// two are interchangeable wherever the [`JoinHandle`] is unused; the
+    /// per-message and per-request hot paths use this one.
+    pub fn spawn_detached<F>(&self, future: F) -> TaskId
+    where
+        F: Future<Output = ()> + 'static,
+    {
+        self.core.state.borrow_mut().spawn_boxed(Box::pin(future))
+    }
+
+    /// One poll step of a sleep: ready if `deadline` has passed, otherwise
+    /// registers a timer waking the task currently being polled (once). A
+    /// single method so the deadline check and the registration share one
+    /// borrow of the state — sleeps are the hottest future in the simulator.
     ///
     /// # Panics
     ///
-    /// Panics if called outside a simulation task: timers wake by task id, so
-    /// there must be a current task to wake.
-    pub(crate) fn register_timer(&self, deadline: SimTime) {
-        let id = CURRENT
-            .with(|c| c.borrow().as_ref().map(|(id, _)| *id))
-            .expect(
-                "sleep futures can only be polled from within a task spawned on the simulation",
+    /// Panics if registration is needed outside a simulation task: timers
+    /// wake by task id, so there must be a current task to wake.
+    pub(crate) fn poll_sleep(&self, deadline: SimTime, registered: &mut bool) -> Poll<()> {
+        let now = self.core.clock.get();
+        if now >= deadline {
+            return Poll::Ready(());
+        }
+        if !*registered {
+            *registered = true;
+            let id = CURRENT
+                .with(|c| c.borrow().as_ref().map(|(id, _)| *id))
+                .expect(
+                    "sleep futures can only be polled from within a task spawned on the simulation",
+                );
+            debug_assert!(
+                CURRENT.with(|c| c
+                    .borrow()
+                    .as_ref()
+                    .is_some_and(|(_, state)| state.ptr_eq(&self.core.self_weak))),
+                "sleep future polled by a task belonging to a different Sim"
             );
-        debug_assert!(
-            CURRENT.with(|c| c
-                .borrow()
-                .as_ref()
-                .is_some_and(|(_, state)| state.ptr_eq(&Rc::downgrade(&self.state)))),
-            "sleep future polled by a task belonging to a different Sim"
-        );
-        self.state.borrow_mut().register_timer(deadline, id);
+            self.core
+                .state
+                .borrow_mut()
+                .register_timer(deadline, id, now);
+        }
+        Poll::Pending
     }
 }
 
@@ -870,15 +943,8 @@ impl Future for Sleep {
     type Output = ();
 
     fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
-        if self.ctx.now() >= self.deadline {
-            return Poll::Ready(());
-        }
-        if !self.registered {
-            self.registered = true;
-            let deadline = self.deadline;
-            self.ctx.register_timer(deadline);
-        }
-        Poll::Pending
+        let this = &mut *self;
+        this.ctx.poll_sleep(this.deadline, &mut this.registered)
     }
 }
 

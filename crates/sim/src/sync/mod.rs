@@ -14,5 +14,5 @@ pub use barrier::{Barrier, BarrierWaitResult};
 pub use channel::{bounded, oneshot, unbounded, Receiver, SendError, Sender, TrySendError};
 pub use event::{CountdownEvent, Event};
 pub use mutex::{SimMutex, SimMutexGuard};
-pub use resource::{Resource, ResourceGuard};
+pub use resource::{Resource, ResourceGuard, ResourceName};
 pub use semaphore::{Permit, Semaphore};

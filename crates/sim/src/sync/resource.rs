@@ -5,12 +5,65 @@
 //! and utilization accounting, which the experiment harness reports.
 
 use std::cell::RefCell;
+use std::fmt;
 use std::rc::Rc;
 
 use crate::executor::SimContext;
 use crate::time::{SimDuration, SimTime};
 
-use super::semaphore::{Permit, Semaphore};
+use super::semaphore::Semaphore;
+
+/// A lazily rendered resource name.
+///
+/// Machines build thousands of resources per cell ("cp0.cpu", "iop3.bus",
+/// "link2-5", …) but the names are only ever read by debug and tracing paths,
+/// so constructing them must not allocate. The enum captures the handful of
+/// shapes the models use and renders on [`fmt::Display`] only.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResourceName {
+    /// A fixed name, e.g. `"scsi-bus"`.
+    Static(&'static str),
+    /// `"{prefix}{index}{suffix}"`, e.g. `"iop3.cpu"`.
+    Indexed {
+        /// Leading literal, e.g. `"iop"`.
+        prefix: &'static str,
+        /// The numeric component.
+        index: usize,
+        /// Trailing literal, e.g. `".cpu"`.
+        suffix: &'static str,
+    },
+    /// `"{prefix}{a}{sep}{b}"`, e.g. `"link2-5"`.
+    Pair {
+        /// Leading literal, e.g. `"link"`.
+        prefix: &'static str,
+        /// First numeric component.
+        a: usize,
+        /// Separator literal, e.g. `"-"`.
+        sep: &'static str,
+        /// Second numeric component.
+        b: usize,
+    },
+}
+
+impl From<&'static str> for ResourceName {
+    fn from(name: &'static str) -> Self {
+        ResourceName::Static(name)
+    }
+}
+
+impl fmt::Display for ResourceName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceName::Static(name) => f.write_str(name),
+            ResourceName::Indexed {
+                prefix,
+                index,
+                suffix,
+            } => write!(f, "{prefix}{index}{suffix}"),
+            ResourceName::Pair { prefix, a, sep, b } => write!(f, "{prefix}{a}{sep}{b}"),
+        }
+    }
+}
 
 #[derive(Default)]
 struct Stats {
@@ -44,55 +97,68 @@ struct Stats {
 /// ```
 #[derive(Clone)]
 pub struct Resource {
+    /// One shared allocation for everything: cloning a handle (and building a
+    /// guard) is a single refcount bump, and the stats live next to the
+    /// semaphore pointer — resources are acquired on every bus transfer and
+    /// disk service, so handle traffic is a hot path.
+    inner: Rc<ResourceInner>,
+}
+
+struct ResourceInner {
     ctx: SimContext,
-    name: Rc<str>,
+    name: ResourceName,
     capacity: u64,
     sem: Semaphore,
-    stats: Rc<RefCell<Stats>>,
+    stats: RefCell<Stats>,
 }
 
 impl Resource {
-    /// Creates a resource with `capacity` concurrent servers.
+    /// Creates a resource with `capacity` concurrent servers. The name is
+    /// stored un-rendered; see [`ResourceName`].
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
-    pub fn new(ctx: SimContext, name: &str, capacity: u64) -> Self {
+    pub fn new(ctx: SimContext, name: impl Into<ResourceName>, capacity: u64) -> Self {
         assert!(capacity > 0, "resource capacity must be non-zero");
         Resource {
-            ctx,
-            name: Rc::from(name),
-            capacity,
-            sem: Semaphore::new(capacity),
-            stats: Rc::new(RefCell::new(Stats::default())),
+            inner: Rc::new(ResourceInner {
+                ctx,
+                name: name.into(),
+                capacity,
+                sem: Semaphore::new(capacity),
+                stats: RefCell::new(Stats::default()),
+            }),
         }
     }
 
-    /// The resource's name (used in reports).
-    pub fn name(&self) -> &str {
-        &self.name
+    /// The resource's name (rendered on demand for debug/tracing output).
+    pub fn name(&self) -> ResourceName {
+        self.inner.name
     }
 
     /// The configured concurrency.
     pub fn capacity(&self) -> u64 {
-        self.capacity
+        self.inner.capacity
     }
 
     /// Acquires one server of the resource; the guard releases it on drop.
     pub async fn acquire(&self) -> ResourceGuard {
-        let requested = self.ctx.now();
-        let permit = self.sem.acquire(1).await;
-        let granted = self.ctx.now();
+        let inner = &self.inner;
+        let requested = inner.ctx.now();
+        // The guard returns the server via `add_permits` itself, so the
+        // permit's own guard object is not kept around.
+        inner.sem.acquire(1).await.forget();
+        let granted = inner.ctx.now();
         {
-            let mut st = self.stats.borrow_mut();
+            let mut st = inner.stats.borrow_mut();
             st.acquisitions += 1;
             st.queue_wait += granted - requested;
             st.first_use.get_or_insert(granted);
         }
         ResourceGuard {
-            resource: self.clone(),
+            inner: Rc::clone(inner),
             acquired_at: granted,
-            _permit: permit,
         }
     }
 
@@ -100,34 +166,34 @@ impl Resource {
     /// releases it. This is the common "transfer n bytes over the bus" call.
     pub async fn use_for(&self, duration: SimDuration) {
         let guard = self.acquire().await;
-        self.ctx.sleep(duration).await;
+        self.inner.ctx.sleep(duration).await;
         drop(guard);
     }
 
     /// Number of completed or in-progress acquisitions.
     pub fn acquisitions(&self) -> u64 {
-        self.stats.borrow().acquisitions
+        self.inner.stats.borrow().acquisitions
     }
 
     /// Total simulated time the resource's servers have been held.
     pub fn busy_time(&self) -> SimDuration {
-        self.stats.borrow().busy
+        self.inner.stats.borrow().busy
     }
 
     /// Total time acquirers spent queued before being served.
     pub fn total_queue_wait(&self) -> SimDuration {
-        self.stats.borrow().queue_wait
+        self.inner.stats.borrow().queue_wait
     }
 
     /// Number of tasks currently waiting for the resource.
     pub fn queue_len(&self) -> usize {
-        self.sem.queue_len()
+        self.inner.sem.queue_len()
     }
 
     /// Utilization over the window from first use to last release:
     /// busy time divided by (capacity × window). Returns zero before any use.
     pub fn utilization(&self) -> f64 {
-        let st = self.stats.borrow();
+        let st = self.inner.stats.borrow();
         let Some(first) = st.first_use else {
             return 0.0;
         };
@@ -135,25 +201,29 @@ impl Resource {
         if window.is_zero() {
             return 0.0;
         }
-        st.busy.as_secs_f64() / (self.capacity as f64 * window.as_secs_f64())
+        st.busy.as_secs_f64() / (self.inner.capacity as f64 * window.as_secs_f64())
     }
 }
 
 /// Guard for an acquired [`Resource`] server.
 pub struct ResourceGuard {
-    resource: Resource,
+    inner: Rc<ResourceInner>,
     acquired_at: SimTime,
-    _permit: Permit,
 }
 
 impl Drop for ResourceGuard {
     fn drop(&mut self) {
-        let now = self.resource.ctx.now();
-        let mut st = self.resource.stats.borrow_mut();
-        st.busy += now - self.acquired_at;
-        if now > st.last_release {
-            st.last_release = now;
+        let now = self.inner.ctx.now();
+        {
+            let mut st = self.inner.stats.borrow_mut();
+            st.busy += now - self.acquired_at;
+            if now > st.last_release {
+                st.last_release = now;
+            }
         }
+        // Same FIFO hand-off as dropping the permit: the stats are settled
+        // first, then the next waiter is granted.
+        self.inner.sem.add_permits(1);
     }
 }
 

@@ -18,33 +18,71 @@ struct Waiter {
 
 struct Inner {
     permits: u64,
-    waiters: VecDeque<Rc<RefCell<Waiter>>>,
+    /// FIFO queue of `slots` indices. Cancelled entries stay queued and are
+    /// skipped (and recycled) when they reach the front.
+    waiters: VecDeque<u32>,
+    /// Waiter slab: acquiring under contention reuses retired slots instead
+    /// of allocating — the executor hot path creates waiters constantly.
+    slots: Vec<Waiter>,
+    free: Vec<u32>,
+    /// Queued-and-not-cancelled count, kept so the uncontended acquire path
+    /// is O(1) instead of scanning the queue.
+    live: usize,
 }
 
 impl Inner {
+    fn alloc_waiter(&mut self, wants: u64, waker: TaskRef) -> u32 {
+        let w = Waiter {
+            wants,
+            granted: false,
+            cancelled: false,
+            waker: Some(waker),
+        };
+        match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx as usize] = w;
+                idx
+            }
+            None => {
+                self.slots.push(w);
+                (self.slots.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Retires a slot that is no longer queued. Exactly one party frees each
+    /// slot: the owning `Acquire` once it observes the grant, or [`grant`]
+    /// when a cancelled entry surfaces at the head of the queue.
+    fn free_waiter(&mut self, idx: u32) {
+        self.slots[idx as usize].waker = None;
+        self.free.push(idx);
+    }
+
     /// Hands permits to queued waiters in FIFO order while enough are free.
     fn grant(&mut self) {
         loop {
-            // Drop cancelled waiters at the head of the queue.
-            while let Some(front) = self.waiters.front() {
-                if front.borrow().cancelled {
+            // Recycle cancelled waiters at the head of the queue.
+            while let Some(&front) = self.waiters.front() {
+                if self.slots[front as usize].cancelled {
                     self.waiters.pop_front();
+                    self.free_waiter(front);
                 } else {
                     break;
                 }
             }
-            let Some(front) = self.waiters.front() else {
+            let Some(&front) = self.waiters.front() else {
                 return;
             };
-            let wants = front.borrow().wants;
-            if self.permits < wants {
+            let slot = &mut self.slots[front as usize];
+            if self.permits < slot.wants {
                 return;
             }
-            self.permits -= wants;
-            let waiter = self.waiters.pop_front().expect("front exists");
-            let mut w = waiter.borrow_mut();
-            w.granted = true;
-            if let Some(waker) = w.waker.take() {
+            self.permits -= slot.wants;
+            slot.granted = true;
+            let waker = slot.waker.take();
+            self.waiters.pop_front();
+            self.live -= 1;
+            if let Some(waker) = waker {
                 waker.wake();
             }
         }
@@ -88,6 +126,9 @@ impl Semaphore {
             inner: Rc::new(RefCell::new(Inner {
                 permits,
                 waiters: VecDeque::new(),
+                slots: Vec::new(),
+                free: Vec::new(),
+                live: 0,
             })),
         }
     }
@@ -99,12 +140,7 @@ impl Semaphore {
 
     /// Number of tasks currently queued waiting for permits.
     pub fn queue_len(&self) -> usize {
-        self.inner
-            .borrow()
-            .waiters
-            .iter()
-            .filter(|w| !w.borrow().cancelled)
-            .count()
+        self.inner.borrow().live
     }
 
     /// Acquires `n` permits, waiting if necessary. The returned guard releases
@@ -121,7 +157,7 @@ impl Semaphore {
     /// Attempts to acquire `n` permits without waiting.
     pub fn try_acquire(&self, n: u64) -> Option<Permit> {
         let mut inner = self.inner.borrow_mut();
-        if inner.waiters.iter().any(|w| !w.borrow().cancelled) || inner.permits < n {
+        if inner.live > 0 || inner.permits < n {
             return None;
         }
         inner.permits -= n;
@@ -190,7 +226,7 @@ impl Drop for Permit {
 pub struct Acquire {
     sem: Semaphore,
     wants: u64,
-    waiter: Option<Rc<RefCell<Waiter>>>,
+    waiter: Option<u32>,
     done: bool,
 }
 
@@ -199,24 +235,24 @@ impl Future for Acquire {
 
     fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Permit> {
         let this = &mut *self;
-        if let Some(waiter) = &this.waiter {
-            let mut w = waiter.borrow_mut();
-            if w.granted {
-                drop(w);
+        let mut inner = this.sem.inner.borrow_mut();
+        if let Some(idx) = this.waiter {
+            let slot = &mut inner.slots[idx as usize];
+            if slot.granted {
                 this.done = true;
                 this.waiter = None;
+                inner.free_waiter(idx);
+                drop(inner);
                 return Poll::Ready(Permit {
                     sem: this.sem.clone(),
                     n: this.wants,
                     released: false,
                 });
             }
-            w.waker = Some(TaskRef::capture(cx));
+            slot.waker = Some(TaskRef::capture(cx));
             return Poll::Pending;
         }
-        let mut inner = this.sem.inner.borrow_mut();
-        let queue_empty = !inner.waiters.iter().any(|w| !w.borrow().cancelled);
-        if queue_empty && inner.permits >= this.wants {
+        if inner.live == 0 && inner.permits >= this.wants {
             inner.permits -= this.wants;
             drop(inner);
             this.done = true;
@@ -226,15 +262,11 @@ impl Future for Acquire {
                 released: false,
             });
         }
-        let waiter = Rc::new(RefCell::new(Waiter {
-            wants: this.wants,
-            granted: false,
-            cancelled: false,
-            waker: Some(TaskRef::capture(cx)),
-        }));
-        inner.waiters.push_back(Rc::clone(&waiter));
+        let idx = inner.alloc_waiter(this.wants, TaskRef::capture(cx));
+        inner.waiters.push_back(idx);
+        inner.live += 1;
         drop(inner);
-        this.waiter = Some(waiter);
+        this.waiter = Some(idx);
         Poll::Pending
     }
 }
@@ -244,14 +276,19 @@ impl Drop for Acquire {
         if self.done {
             return;
         }
-        if let Some(waiter) = &self.waiter {
-            let mut w = waiter.borrow_mut();
-            if w.granted {
+        if let Some(idx) = self.waiter {
+            let mut inner = self.sem.inner.borrow_mut();
+            let slot = &mut inner.slots[idx as usize];
+            if slot.granted {
                 // Permits were granted but never observed: give them back.
-                drop(w);
+                inner.free_waiter(idx);
+                drop(inner);
                 self.sem.release(self.wants);
             } else {
-                w.cancelled = true;
+                // Stays queued; `grant` recycles it at the head of the line.
+                slot.cancelled = true;
+                slot.waker = None;
+                inner.live -= 1;
             }
         }
     }

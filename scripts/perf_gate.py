@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate for the executor trajectory.
+
+Compares a fresh `ddio-bench run all --perf --format json` report against the
+committed BENCH_PR*.json baseline:
+
+  * events_per_sec more than --tolerance (default 30%) below the baseline is a
+    HARD FAIL (exit 1) — the model hot paths regressed badly enough that it
+    cannot be runner noise.
+  * anything slower than baseline but within tolerance is a SOFT WARN
+    (exit 0) — CI runners are noisy, so mild slowdowns only get flagged.
+  * a sim_events mismatch is a SOFT WARN that the baseline is stale: the event
+    count is deterministic at a given smoke scale, so a mismatch means the
+    workload changed and the committed BENCH_PR*.json needs re-recording, not
+    that performance moved.
+
+Usage:
+  python3 scripts/perf_gate.py --baseline BENCH_PR8.json --fresh BENCH_RUN.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_perf(path):
+    """Extract {sim_events, events_per_sec} from either file shape.
+
+    The committed baseline nests the figures under run_all_smoke.after_perf;
+    a fresh `--perf` report carries them at the top level under "perf".
+    """
+    with open(path) as f:
+        doc = json.load(f)
+    if "perf" in doc:
+        return doc["perf"]
+    try:
+        return doc["run_all_smoke"]["after_perf"]
+    except KeyError:
+        sys.exit(f"perf_gate: {path}: no 'perf' or 'run_all_smoke.after_perf' key")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True, help="committed BENCH_PR*.json")
+    ap.add_argument("--fresh", required=True, help="fresh run-all --perf report")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="max fractional events/sec regression before hard fail (default 0.30)",
+    )
+    args = ap.parse_args()
+
+    base = load_perf(args.baseline)
+    fresh = load_perf(args.fresh)
+
+    base_eps = float(base["events_per_sec"])
+    fresh_eps = float(fresh["events_per_sec"])
+    ratio = fresh_eps / base_eps if base_eps > 0 else float("inf")
+
+    print(
+        f"perf_gate: baseline {base_eps:,.0f} ev/s ({args.baseline}), "
+        f"fresh {fresh_eps:,.0f} ev/s ({args.fresh}), ratio {ratio:.3f}"
+    )
+
+    if fresh["sim_events"] != base["sim_events"]:
+        print(
+            f"perf_gate: WARN sim_events changed "
+            f"{base['sim_events']:,} -> {fresh['sim_events']:,}; the workload "
+            f"moved — re-record {args.baseline} (events/sec comparison below "
+            f"is across different workloads)"
+        )
+
+    floor = 1.0 - args.tolerance
+    if ratio < floor:
+        print(
+            f"perf_gate: FAIL events/sec regressed {(1.0 - ratio) * 100:.1f}% "
+            f"(> {args.tolerance * 100:.0f}% tolerance) vs committed baseline"
+        )
+        return 1
+    if ratio < 1.0:
+        print(
+            f"perf_gate: WARN events/sec {(1.0 - ratio) * 100:.1f}% below "
+            f"baseline (within {args.tolerance * 100:.0f}% tolerance; "
+            f"likely runner noise)"
+        )
+    else:
+        print("perf_gate: OK at or above baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
