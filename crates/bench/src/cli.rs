@@ -17,7 +17,9 @@ use std::io::Write;
 
 use ddio_core::experiment::pool;
 use ddio_core::experiment::scenario::{self, Scenario};
-use ddio_core::{CacheSet, ContentionSet, FaultSet, RedundancySet, SchedSet, TopologySet};
+use ddio_core::{
+    ArrivalSet, CacheSet, ContentionSet, FaultSet, QosSet, RedundancySet, SchedSet, TopologySet,
+};
 
 use crate::report::{self, ScenarioRun};
 use crate::Scale;
@@ -65,6 +67,11 @@ pub struct RunCommand {
     pub fault_policies: FaultSet,
     /// Redundancy policies the `fault-sweep` scenario runs (all by default).
     pub redundancies: RedundancySet,
+    /// Arrival processes the `serve-sweep` scenario runs (all by default;
+    /// other scenarios use the machine-wide `DDIO_ARRIVAL_PROCESS`).
+    pub arrivals: ArrivalSet,
+    /// QoS policies the `serve-sweep` scenario runs (all by default).
+    pub qos_policies: QosSet,
 }
 
 const USAGE: &str = "\
@@ -105,15 +112,22 @@ OPTIONS (run):
     --redundancy LIST     comma-separated redundancy policies for the
                           fault-sweep scenario: none|mirror|parity
                           (default: all)
+    --arrival LIST        comma-separated arrival processes for the
+                          serve-sweep scenario: poisson|bursty (default: all)
+    --qos LIST            comma-separated QoS policies for the serve-sweep
+                          scenario: fifo|fair-share|weighted|tenant-priority
+                          (default: all)
 
 The machine-wide fabric of every other scenario comes from the environment:
 DDIO_NET_TOPOLOGY (default torus) and DDIO_NET_CONTENTION (default ni-only);
 likewise DDIO_FAULT_POLICY (default none) and DDIO_FAULT_REDUNDANCY (default
-none) set every other scenario's fault composition.
+none) set every other scenario's fault composition, and DDIO_ARRIVAL_PROCESS
+(default closed-loop) with DDIO_ARRIVAL_QOS, DDIO_ARRIVAL_TENANTS, and
+DDIO_ARRIVAL_REQUESTS set the machine-wide serving composition.
 
 Scenarios (see `ddio-bench list` for descriptions and headline results):
 table1 fig3 fig4 fig5 fig6 fig7 fig8 mixed-rw degraded-disk sched-sweep
-cache-sweep record-cp-cross net-sweep fault-sweep";
+cache-sweep record-cp-cross net-sweep fault-sweep serve-sweep";
 
 fn usage_err(message: impl Into<String>) -> String {
     format!("{}\n\n{USAGE}", message.into())
@@ -150,6 +164,8 @@ pub fn parse_run(
     let mut contentions = ContentionSet::all();
     let mut fault_policies = FaultSet::all();
     let mut redundancies = RedundancySet::all();
+    let mut arrivals = ArrivalSet::all();
+    let mut qos_policies = QosSet::all();
     let mut perf = false;
 
     let mut it = args.iter();
@@ -223,6 +239,16 @@ pub fn parse_run(
                 let v = flag_value("--redundancy")?;
                 redundancies = RedundancySet::parse_list(&v)
                     .map_err(|e| usage_err(format!("--redundancy: {e}")))?;
+            }
+            "--arrival" => {
+                let v = flag_value("--arrival")?;
+                arrivals =
+                    ArrivalSet::parse_list(&v).map_err(|e| usage_err(format!("--arrival: {e}")))?;
+            }
+            "--qos" => {
+                let v = flag_value("--qos")?;
+                qos_policies =
+                    QosSet::parse_list(&v).map_err(|e| usage_err(format!("--qos: {e}")))?;
             }
             "--small-records" => {
                 let v = flag_value("--small-records")?;
@@ -306,6 +332,8 @@ pub fn parse_run(
         contentions,
         fault_policies,
         redundancies,
+        arrivals,
+        qos_policies,
     })
 }
 
@@ -341,6 +369,13 @@ pub fn execute_run(cmd: &RunCommand) -> Result<String, String> {
             scenario_cells.retain(|c| {
                 cmd.fault_policies.contains(c.config.faults)
                     && cmd.redundancies.contains(c.config.redundancy)
+            });
+        }
+        if s.name == "serve-sweep" {
+            // `--arrival` / `--qos` narrow the serving sweep the same way.
+            scenario_cells.retain(|c| {
+                cmd.arrivals.contains(c.config.serve.arrival)
+                    && cmd.qos_policies.contains(c.config.serve.qos)
             });
         }
         spans.push(scenario_cells.len());
@@ -686,6 +721,46 @@ mod tests {
         let err =
             parse_run(&args(&["fault-sweep", "--redundancy", "raid9"]), smoke_env).unwrap_err();
         assert!(err.contains("unknown redundancy policy"), "{err}");
+    }
+
+    #[test]
+    fn arrival_and_qos_flags_filter_the_serving_sweep() {
+        use ddio_core::{ArrivalProcess, QosPolicy};
+        let cmd = parse_run(
+            &args(&[
+                "serve-sweep",
+                "--arrival",
+                "poisson",
+                "--qos",
+                "fifo,weighted",
+                "--jobs",
+                "2",
+            ]),
+            smoke_env,
+        )
+        .unwrap();
+        assert!(cmd.arrivals.contains(ArrivalProcess::Poisson));
+        assert!(!cmd.arrivals.contains(ArrivalProcess::Bursty));
+        assert!(cmd.qos_policies.contains(QosPolicy::Fifo));
+        assert!(cmd.qos_policies.contains(QosPolicy::Weighted));
+        assert!(!cmd.qos_policies.contains(QosPolicy::FairShare));
+        let out = execute_run(&cmd).unwrap();
+        assert!(out.contains("arrival=poisson qos=fifo"));
+        assert!(out.contains("qos=weighted"));
+        assert!(
+            !out.contains("arrival=bursty"),
+            "filtered arrival still ran:\n{out}"
+        );
+        assert!(
+            !out.contains("qos=fair-share"),
+            "filtered QoS policy still ran:\n{out}"
+        );
+
+        let err =
+            parse_run(&args(&["serve-sweep", "--arrival", "drizzle"]), smoke_env).unwrap_err();
+        assert!(err.contains("unknown arrival process"), "{err}");
+        let err = parse_run(&args(&["serve-sweep", "--qos", "anarchy"]), smoke_env).unwrap_err();
+        assert!(err.contains("unknown QoS policy"), "{err}");
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //! | `DDIO_NET_CONTENTION` | `ni-only` | fabric contention model: ni-only or link |
 //! | `DDIO_FAULT_POLICY` | `none` | machine-wide fault injection: none, cacheless, worn, transient, failure |
 //! | `DDIO_FAULT_REDUNDANCY` | `none` | redundant block placement: none, mirror, parity |
+//! | `DDIO_ARRIVAL_PROCESS` | `closed-loop` | request arrivals: closed-loop, poisson, bursty |
+//! | `DDIO_ARRIVAL_QOS` | `fifo` | serving admission policy: fifo, fair-share, weighted, tenant-priority |
+//! | `DDIO_ARRIVAL_TENANTS` | `4` | independent open-loop tenants (≥ 1)  |
+//! | `DDIO_ARRIVAL_REQUESTS` | `64` | open-loop requests per tenant (≥ 1)  |
 //!
 //! Zero or unparseable values are rejected at startup with a clear error
 //! (see [`Scale::from_env`]) instead of panicking mid-run.
@@ -37,7 +41,8 @@ use std::fmt;
 
 use ddio_core::experiment::scenario::{self, SweepParams};
 use ddio_core::{
-    ContentionModel, FaultPolicy, MachineConfig, NetConfig, RedundancyPolicy, TopologyKind,
+    ArrivalProcess, ContentionModel, FaultPolicy, MachineConfig, NetConfig, QosPolicy,
+    RedundancyPolicy, ServeParams, TopologyKind,
 };
 
 /// Scaling knobs shared by the CLI and all figure binaries.
@@ -64,6 +69,15 @@ pub struct Scale {
     pub faults: FaultPolicy,
     /// Machine-wide redundant block placement (none by default).
     pub redundancy: RedundancyPolicy,
+    /// Machine-wide arrival process (the paper's closed loop by default;
+    /// the `serve-sweep` scenario sweeps its own).
+    pub arrival: ArrivalProcess,
+    /// Machine-wide serving admission policy (FIFO by default).
+    pub qos: QosPolicy,
+    /// Independent open-loop tenants.
+    pub tenants: usize,
+    /// Open-loop requests per tenant.
+    pub requests_per_tenant: usize,
 }
 
 impl Default for Scale {
@@ -78,6 +92,10 @@ impl Default for Scale {
             contention: ContentionModel::NiOnly,
             faults: FaultPolicy::None,
             redundancy: RedundancyPolicy::None,
+            arrival: ArrivalProcess::ClosedLoop,
+            qos: QosPolicy::Fifo,
+            tenants: ServeParams::default().tenants,
+            requests_per_tenant: ServeParams::default().requests_per_tenant,
         }
     }
 }
@@ -196,6 +214,36 @@ impl Scale {
                 reason: "expected none, mirror, or parity",
             })?;
         }
+        if let Some(raw) = lookup("DDIO_ARRIVAL_PROCESS").filter(|v| !v.trim().is_empty()) {
+            s.arrival = ArrivalProcess::parse(raw.trim()).ok_or_else(|| ScaleError {
+                var: "DDIO_ARRIVAL_PROCESS".to_owned(),
+                value: raw.clone(),
+                reason: "expected closed-loop, poisson, or bursty",
+            })?;
+        }
+        if let Some(raw) = lookup("DDIO_ARRIVAL_QOS").filter(|v| !v.trim().is_empty()) {
+            s.qos = QosPolicy::parse(raw.trim()).ok_or_else(|| ScaleError {
+                var: "DDIO_ARRIVAL_QOS".to_owned(),
+                value: raw.clone(),
+                reason: "expected fifo, fair-share, weighted, or tenant-priority",
+            })?;
+        }
+        let mut tenants = s.tenants as u64;
+        parse_knob(
+            "DDIO_ARRIVAL_TENANTS",
+            lookup("DDIO_ARRIVAL_TENANTS"),
+            1,
+            &mut tenants,
+        )?;
+        s.tenants = tenants as usize;
+        let mut requests = s.requests_per_tenant as u64;
+        parse_knob(
+            "DDIO_ARRIVAL_REQUESTS",
+            lookup("DDIO_ARRIVAL_REQUESTS"),
+            1,
+            &mut requests,
+        )?;
+        s.requests_per_tenant = requests as usize;
         Ok(s)
     }
 
@@ -223,6 +271,13 @@ impl Scale {
             },
             faults: self.faults,
             redundancy: self.redundancy,
+            serve: ServeParams {
+                arrival: self.arrival,
+                qos: self.qos,
+                tenants: self.tenants,
+                requests_per_tenant: self.requests_per_tenant,
+                ..ServeParams::default()
+            },
             ..MachineConfig::default()
         }
     }
@@ -348,6 +403,38 @@ mod tests {
         assert_eq!(err.var, "DDIO_FAULT_POLICY");
         let err = Scale::from_lookup(lookup_of(&[("DDIO_FAULT_REDUNDANCY", "raid9")])).unwrap_err();
         assert_eq!(err.var, "DDIO_FAULT_REDUNDANCY");
+    }
+
+    #[test]
+    fn arrival_knobs_select_the_serving_composition() {
+        let s = Scale::from_lookup(lookup_of(&[
+            ("DDIO_ARRIVAL_PROCESS", "bursty"),
+            ("DDIO_ARRIVAL_QOS", "fair-share"),
+            ("DDIO_ARRIVAL_TENANTS", "8"),
+            ("DDIO_ARRIVAL_REQUESTS", "32"),
+        ]))
+        .unwrap();
+        assert_eq!(s.arrival, ArrivalProcess::Bursty);
+        assert_eq!(s.qos, QosPolicy::FairShare);
+        assert_eq!(s.tenants, 8);
+        assert_eq!(s.requests_per_tenant, 32);
+        let serve = s.base_config().serve;
+        assert_eq!(serve.arrival, ArrivalProcess::Bursty);
+        assert_eq!(serve.qos, QosPolicy::FairShare);
+        assert_eq!(serve.tenants, 8);
+        assert_eq!(serve.requests_per_tenant, 32);
+        // Blank keeps the closed-loop defaults; garbage is rejected.
+        let s = Scale::from_lookup(lookup_of(&[("DDIO_ARRIVAL_PROCESS", " ")])).unwrap();
+        assert_eq!(s.arrival, ArrivalProcess::ClosedLoop);
+        assert_eq!(s.base_config().serve, ServeParams::default());
+        let err = Scale::from_lookup(lookup_of(&[("DDIO_ARRIVAL_PROCESS", "sneaky")])).unwrap_err();
+        assert_eq!(err.var, "DDIO_ARRIVAL_PROCESS");
+        let err = Scale::from_lookup(lookup_of(&[("DDIO_ARRIVAL_QOS", "anarchy")])).unwrap_err();
+        assert_eq!(err.var, "DDIO_ARRIVAL_QOS");
+        let err = Scale::from_lookup(lookup_of(&[("DDIO_ARRIVAL_TENANTS", "0")])).unwrap_err();
+        assert_eq!(err.var, "DDIO_ARRIVAL_TENANTS");
+        let err = Scale::from_lookup(lookup_of(&[("DDIO_ARRIVAL_REQUESTS", "0")])).unwrap_err();
+        assert_eq!(err.var, "DDIO_ARRIVAL_REQUESTS");
     }
 
     #[test]

@@ -189,6 +189,41 @@ fn json_net(r: &CellResult) -> String {
     )
 }
 
+/// The serving statistics of a cell's last trial: request count, latency
+/// percentiles from the streaming log-bucket histogram, and per-tenant
+/// throughput. Under the default closed-loop composition no requests are
+/// served, so every percentile is NaN and renders as `null` — the same
+/// rule [`json_f64`]/[`csv_f64`] apply everywhere else.
+fn json_serve(r: &CellResult) -> String {
+    let s = &r.point.last_outcome.serve;
+    let tenants = s
+        .per_tenant
+        .iter()
+        .map(|t| {
+            format!(
+                "{{\"tenant\":{},\"requests\":{},\"bytes\":{},\"mibs\":{}}}",
+                t.tenant,
+                t.requests,
+                t.bytes,
+                json_f64(t.mibs)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"requests\":{},\"served_bytes\":{},\"p50_ms\":{},\"p99_ms\":{},\"p999_ms\":{},\
+         \"mean_ms\":{},\"max_ms\":{},\"mean_queue_ms\":{},\"tenants\":[{tenants}]}}",
+        s.requests,
+        s.served_bytes,
+        json_f64(s.p50_ms),
+        json_f64(s.p99_ms),
+        json_f64(s.p999_ms),
+        json_f64(s.mean_ms),
+        json_f64(s.max_ms),
+        json_f64(s.mean_queue_ms)
+    )
+}
+
 /// The per-IOP cache counters of a cell's last trial (empty for cacheless
 /// methods like disk-directed I/O), one object per IOP that ran a cache.
 fn json_cache(r: &CellResult) -> String {
@@ -262,7 +297,8 @@ fn json_cell(r: &CellResult, perf: bool) -> String {
          \"record_bytes\":{},\
          \"layout\":\"{}\",\"faults\":\"{}\",\"redundancy\":\"{}\",\
          \"axes\":[{}],\"seed\":{},\"trials\":[{}],\"summary\":{},\
-         \"hardware_limit_mibs\":{},\"fault\":{},\"drives\":[{}],\"cache\":[{}],\"net\":{}{}}}",
+         \"hardware_limit_mibs\":{},\"fault\":{},\"serve\":{},\"drives\":[{}],\"cache\":[{}],\
+         \"net\":{}{}}}",
         json_escape(&r.point.pattern),
         json_escape(&r.point.method.label()),
         r.point.method.sched().name(),
@@ -277,6 +313,7 @@ fn json_cell(r: &CellResult, perf: bool) -> String {
         json_summary(&r.point.summary),
         json_f64(r.hardware_limit_mibs),
         fault,
+        json_serve(r),
         json_drives(r),
         json_cache(r),
         json_net(r),
@@ -294,7 +331,11 @@ fn json_cell(r: &CellResult, perf: bool) -> String {
 /// for cacheless methods), the cell's `faults`/`redundancy` policy names
 /// with a `fault` counter object (`events_fired`, `reconstruction_reads`,
 /// `degraded_s`, `lost_blocks` — all zero under the default healthy
-/// composition), and the `net` object (fabric
+/// composition), the `serve` object (`requests`, `served_bytes`, the
+/// `p50_ms`/`p99_ms`/`p999_ms`/`mean_ms`/`max_ms`/`mean_queue_ms` latency
+/// summary, and the per-tenant `tenants[]` throughput counters — under the
+/// default closed-loop composition `requests` is zero and every latency
+/// field is `null`), and the `net` object (fabric
 /// topology/contention, per-node NI `ni[]` send/receive utilization, and
 /// per-link `links[]` busy-time counters — links are empty under the
 /// default `ni-only` model). Axis values are numbers for numeric axes and
@@ -346,13 +387,16 @@ pub fn render_json(scale: &Scale, runs: &[ScenarioRun], perf: Option<&RunPerf>) 
 }
 
 /// Renders a run as CSV: one header row, then one row per cell across all
-/// scenarios. Axes are packed as `name=value` pairs separated by `;`.
+/// scenarios. Axes are packed as `name=value` pairs separated by `;`. The
+/// serving columns (`serve_requests` and the latency percentiles) are
+/// populated by open-loop cells; closed-loop cells carry zero requests and
+/// `null` percentiles (NaN never leaks into a field).
 /// With `perf`, five columns
 /// (`sim_events,wall_s,build_wall_secs,run_wall_secs,events_per_sec`) are
 /// appended to every row.
 pub fn render_csv(runs: &[ScenarioRun], perf: bool) -> String {
     let mut out = String::from(
-        "scenario,pattern,method,record_bytes,layout,axes,seed,n_trials,mean_mibs,std_dev,cv,min,max,hardware_limit_mibs",
+        "scenario,pattern,method,record_bytes,layout,axes,seed,n_trials,mean_mibs,std_dev,cv,min,max,hardware_limit_mibs,serve_requests,serve_p50_ms,serve_p99_ms,serve_p999_ms,serve_mean_queue_ms",
     );
     if perf {
         out.push_str(",sim_events,wall_s,build_wall_secs,run_wall_secs,events_per_sec");
@@ -367,8 +411,9 @@ pub fn render_csv(runs: &[ScenarioRun], perf: bool) -> String {
                 .collect::<Vec<_>>()
                 .join(";");
             let s = &r.point.summary;
+            let serve = &r.point.last_outcome.serve;
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 csv_field(run.scenario.name),
                 csv_field(&r.point.pattern),
                 csv_field(&r.point.method.label()),
@@ -382,7 +427,12 @@ pub fn render_csv(runs: &[ScenarioRun], perf: bool) -> String {
                 csv_f64(s.cv()),
                 csv_f64(s.min),
                 csv_f64(s.max),
-                csv_f64(r.hardware_limit_mibs)
+                csv_f64(r.hardware_limit_mibs),
+                serve.requests,
+                csv_f64(serve.p50_ms),
+                csv_f64(serve.p99_ms),
+                csv_f64(serve.p999_ms),
+                csv_f64(serve.mean_queue_ms)
             ));
             if perf {
                 let rate = if r.point.host_wall_secs > 0.0 {
@@ -741,6 +791,69 @@ mod tests {
         let (_, run) = tiny_run("mixed-rw");
         let csv = render_csv(&[run], false);
         assert!(!csv.contains("NaN"), "bare NaN leaked into CSV:\n{csv}");
+    }
+
+    #[test]
+    fn closed_loop_serve_stats_render_as_null_never_nan() {
+        // Regression: the latency histogram has no samples under the default
+        // closed-loop composition, so every percentile is NaN — which JSON
+        // cannot represent and CSV readers refuse to type. Both renderers
+        // must emit `null`.
+        let (_, run) = tiny_run("mixed-rw");
+        let scale = Scale {
+            file_mib: 1,
+            trials: 1,
+            small_records: false,
+            seed: 7,
+            ..Scale::default()
+        };
+        let json = render_json(&scale, &[run], None);
+        assert!(json_is_valid(&json), "invalid JSON:\n{json}");
+        assert!(
+            json.contains(
+                "\"serve\":{\"requests\":0,\"served_bytes\":0,\"p50_ms\":null,\
+                 \"p99_ms\":null,\"p999_ms\":null,\"mean_ms\":null,\"max_ms\":null,\
+                 \"mean_queue_ms\":null,\"tenants\":[]}"
+            ),
+            "closed-loop serve object wrong:\n{json}"
+        );
+        assert!(!json.contains("NaN"), "bare NaN leaked into JSON:\n{json}");
+        let (_, run) = tiny_run("mixed-rw");
+        let csv = render_csv(&[run], false);
+        let row = csv.lines().nth(1).unwrap();
+        assert!(
+            row.ends_with(",0,null,null,null,null"),
+            "closed-loop serve columns wrong: {row}"
+        );
+        assert!(!csv.contains("NaN"), "bare NaN leaked into CSV:\n{csv}");
+    }
+
+    #[test]
+    fn serve_sweep_cells_report_tail_latency_and_tenant_throughput() {
+        let (_, run) = tiny_run("serve-sweep");
+        let scale = Scale {
+            file_mib: 1,
+            trials: 1,
+            small_records: false,
+            seed: 7,
+            ..Scale::default()
+        };
+        let json = render_json(&scale, std::slice::from_ref(&run), None);
+        assert!(json_is_valid(&json), "invalid JSON:\n{json}");
+        // Open-loop cells carry real latencies: no nulls in the percentile
+        // fields and a non-empty tenants array.
+        assert!(
+            !json.contains("\"p999_ms\":null"),
+            "open-loop cell lost its tail"
+        );
+        assert!(json.contains("{\"name\":\"arrival\",\"value\":\"poisson\"}"));
+        assert!(json.contains("{\"name\":\"qos\",\"value\":\"fair-share\"}"));
+        assert!(json.contains("\"tenant\":0"));
+        assert!(json.contains("\"mibs\":"));
+        let csv = render_csv(&[run], false);
+        for row in csv.lines().skip(1) {
+            assert!(!row.contains("null"), "open-loop row has nulls: {row}");
+        }
     }
 
     #[test]

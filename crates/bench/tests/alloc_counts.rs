@@ -15,6 +15,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use ddio_core::cache::{BlockCache, CacheConfig, FillReason, Lookup};
+use ddio_core::{AdmissionQueue, LatencyHistogram, QosPolicy};
 use ddio_net::{Envelope, NetConfig, Network, NetworkParams};
 use ddio_sim::sync::Receiver;
 use ddio_sim::{Sim, SimDuration};
@@ -164,6 +165,33 @@ fn fabric_storm(sim: &mut Sim) -> u64 {
     sim.events_processed()
 }
 
+/// Serving storm: the per-request admission path — push into the QoS queue,
+/// pop for admission, record latency and queue wait into the histograms —
+/// across every policy. Returns ops performed.
+fn serve_storm(
+    queues: &mut [AdmissionQueue],
+    latency: &mut LatencyHistogram,
+    queue_wait: &mut LatencyHistogram,
+) -> u64 {
+    let mut ops = 0u64;
+    for round in 0..64u64 {
+        for q in queues.iter_mut() {
+            for i in 0..32u64 {
+                q.push((i % 4) as usize, round * 32 + i);
+                ops += 1;
+            }
+            while let Some((tenant, id)) = q.pop() {
+                // A plausible latency spread: spans many octaves so every
+                // histogram path (exact sub-32 buckets and log buckets) runs.
+                latency.record(1 + (id * 2_654_435_761 + tenant as u64) % 1_000_000_000);
+                queue_wait.record((id * 40_503) % 1_000_000);
+                ops += 3;
+            }
+        }
+    }
+    ops
+}
+
 #[test]
 fn steady_state_allocations_per_event_stay_bounded() {
     // --- Executor ---
@@ -194,10 +222,30 @@ fn steady_state_allocations_per_event_stay_bounded() {
     let events = fabric_storm(&mut sim);
     let fabric_rate = (allocs() - before) as f64 / events as f64;
 
+    // --- Serving (admission queues + latency histograms) ---
+    let mut queues: Vec<AdmissionQueue> = [
+        QosPolicy::Fifo,
+        QosPolicy::FairShare,
+        QosPolicy::Weighted,
+        QosPolicy::TenantPriority,
+    ]
+    .into_iter()
+    .map(|qos| AdmissionQueue::new(qos, 4))
+    .collect();
+    let mut latency = LatencyHistogram::new();
+    let mut queue_wait = LatencyHistogram::new();
+    // Warm-up: queue VecDeques grow to the burst's high-water mark (the
+    // histograms pre-allocate their whole bucket table in `new`).
+    serve_storm(&mut queues, &mut latency, &mut queue_wait);
+    let before = allocs();
+    let serve_ops = serve_storm(&mut queues, &mut latency, &mut queue_wait);
+    let serve_rate = (allocs() - before) as f64 / serve_ops as f64;
+
     println!("alloc_counts: executor_storm {exec_rate:.4} allocs/event");
     println!("alloc_counts: cache_miss_storm {cache_rate:.4} allocs/op");
     println!("alloc_counts: cache_hit_storm {hit_rate:.4} allocs/op");
     println!("alloc_counts: fabric_storm {fabric_rate:.4} allocs/event");
+    println!("alloc_counts: serve_storm {serve_rate:.4} allocs/op");
 
     // Steady-state bounds. The executor storm re-boxes each spawned future
     // (64 spawns per ~18k events); the cache hit path is allocation-free
@@ -221,5 +269,10 @@ fn steady_state_allocations_per_event_stay_bounded() {
     assert!(
         fabric_rate < 0.5,
         "fabric storm allocates {fabric_rate:.4}/event — send/post churn"
+    );
+    assert!(
+        serve_rate == 0.0,
+        "serve storm allocates {serve_rate:.4}/op — the admission/record path \
+         must be allocation-free in steady state"
     );
 }

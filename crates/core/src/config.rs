@@ -11,6 +11,7 @@ use ddio_sim::SimDuration;
 
 pub use crate::cache::CacheConfig;
 pub use crate::fault::{FaultPolicy, RedundancyPolicy};
+pub use crate::serve::ServeParams;
 pub use ddio_disk::{SchedPolicy, SchedSet};
 pub use ddio_net::{ContentionModel, ContentionSet, NetConfig, TopologyKind, TopologySet};
 
@@ -264,6 +265,10 @@ pub struct MachineConfig {
     /// Redundancy policy: how the layout places spare copies and how reads
     /// recover from a dead drive. The default (`none`) places nothing.
     pub redundancy: RedundancyPolicy,
+    /// Open-loop serving composition: arrival process, QoS admission policy,
+    /// tenant population, and offered load. The default (`closed-loop` +
+    /// `fifo`) runs the scenario's collective transfer instead.
+    pub serve: ServeParams,
     /// When true, every CP records the byte ranges it received/sent so tests
     /// can verify data placement. Adds memory overhead; off for benchmarks.
     pub verify: bool,
@@ -290,6 +295,7 @@ impl Default for MachineConfig {
             ddio_buffers_per_disk: 2,
             faults: FaultPolicy::default(),
             redundancy: RedundancyPolicy::default(),
+            serve: ServeParams::default(),
             verify: false,
         }
     }
@@ -425,6 +431,12 @@ impl MachineConfig {
                  plus copies, but capacity is {disk_capacity_blocks}"
             );
         }
+        self.serve.validate();
+        assert!(
+            !(self.verify && self.serve.is_open_loop()),
+            "verify mode tracks collective-transfer data placement and does not \
+             support open-loop serving"
+        );
     }
 }
 

@@ -242,6 +242,9 @@ policy_set! {
     RedundancySet of RedundancyPolicy, "redundancy policy", "none, mirror, or parity"
 }
 
+// The serving subsystem's policy enums build their sets with the same macro.
+pub(crate) use policy_set;
+
 /// What kind of fault an event injects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultKind {

@@ -35,7 +35,15 @@
 //! schedule of timed failures (a slow drive, a crashed IOP, a dead drive)
 //! composed with a redundancy layout (mirrored pairs or rotated parity)
 //! that reconstructs failed reads, so "how gracefully does each file system
-//! degrade?" is the `fault-sweep` scenario rather than a rewrite.
+//! degrade?" is the `fault-sweep` scenario rather than a rewrite. The fifth
+//! pluggable subsystem is open-loop serving ([`ArrivalProcess`] ×
+//! [`QosPolicy`] in [`serve`]): a deterministic per-tenant request schedule
+//! (Poisson or bursty MMPP arrivals) composed with a QoS admission policy
+//! (fifo, fair-share, weighted, or tenant-priority), recording
+//! enqueue→admission→completion latencies into a streaming log-bucket
+//! histogram, so "does disk-directed I/O's advantage survive many
+//! independent clients?" is the `serve-sweep` scenario rather than a
+//! rewrite.
 //!
 //! On top sit the striped-file layout machinery ([`FileLayout`],
 //! [`LayoutPolicy`]), the user-facing collective API ([`CollectiveFile`]),
@@ -71,6 +79,7 @@ pub mod fault;
 mod layout;
 mod machine;
 mod msg;
+pub mod serve;
 mod tc;
 mod util;
 
@@ -90,6 +99,10 @@ pub use fault::{
 pub use layout::{BlockLocation, FileLayout, LayoutStorage};
 pub use machine::{run_transfer, MachineArena, TransferOutcome, VerifyReport};
 pub use msg::FsMessage;
+pub use serve::{
+    AdmissionQueue, ArrivalProcess, ArrivalSet, LatencyHistogram, QosPolicy, QosSet, ServeConfig,
+    ServeParams, ServeRequestSpec, ServeStats, TenantStats,
+};
 pub use util::{IntervalSet, PendingCounter};
 
 // Re-export the pattern vocabulary so downstream users need only one import.

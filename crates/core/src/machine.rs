@@ -21,11 +21,16 @@ use crate::ddio;
 use crate::fault::{FaultConfig, FaultPolicy, FaultStats, RedundancyPolicy};
 use crate::layout::{BlockLocation, FileLayout};
 use crate::msg::FsMessage;
+use crate::serve::{self, ServeConfig, ServeStats};
 use crate::tc;
 use crate::util::IntervalSet;
 
 /// RNG stream tag of the fault schedule (disjoint from the layout streams).
 const FAULT_STREAM: u64 = 0xFA17;
+
+/// RNG stream tag of the serving request schedule (disjoint from the layout
+/// and fault streams).
+const SERVE_STREAM: u64 = 0x5E12;
 
 /// Inbox type used by every node.
 pub(crate) type Inbox = Receiver<Envelope<FsMessage>>;
@@ -293,6 +298,9 @@ pub struct TransferOutcome {
     /// Fault and recovery counters (all zero under the default
     /// composition). A transfer that lost blocks reports zero throughput.
     pub fault_stats: FaultStats,
+    /// Open-loop serving statistics (latency percentiles, per-tenant
+    /// throughput). All-`NaN`/empty under the closed-loop default.
+    pub serve: ServeStats,
     /// Per-node sending-NI utilization over each NI's active window
     /// (index = network node id; CPs first, then IOPs).
     pub ni_send_utilization: Vec<f64>,
@@ -486,6 +494,10 @@ pub fn run_transfer_in(
     // policies compile to an empty schedule.
     let fault_schedule = FaultConfig::derive(config.faults, config, &rng.derive(FAULT_STREAM));
 
+    // Likewise the serving request schedule: its own stream, empty under the
+    // closed-loop default.
+    let serve_schedule = ServeConfig::derive(&config.serve, config, &rng.derive(SERVE_STREAM));
+
     let ctx = sim.context();
 
     // Interconnect: CPs occupy nodes [0, n_cps), IOPs the next n_iops nodes,
@@ -623,24 +635,42 @@ pub fn run_transfer_in(
         },
     });
 
-    match method {
-        Method::TraditionalCaching(sched, cache) => {
-            tc::spawn_transfer(
-                sim,
-                &ctx,
-                &run,
-                &cps,
-                &iops,
-                cp_inboxes,
-                iop_inboxes,
-                sched,
-                cache,
-            );
+    // An active serving schedule replaces the collective transfer: the same
+    // machine serves the open-loop request stream under the chosen method's
+    // service path instead.
+    let serve_session = if serve_schedule.is_active() {
+        Some(serve::spawn_serving(
+            sim,
+            &ctx,
+            &run,
+            &cps,
+            &iops,
+            cp_inboxes,
+            iop_inboxes,
+            method,
+            serve_schedule,
+        ))
+    } else {
+        match method {
+            Method::TraditionalCaching(sched, cache) => {
+                tc::spawn_transfer(
+                    sim,
+                    &ctx,
+                    &run,
+                    &cps,
+                    &iops,
+                    cp_inboxes,
+                    iop_inboxes,
+                    sched,
+                    cache,
+                );
+            }
+            Method::DiskDirected(sched) => {
+                ddio::spawn_transfer(sim, &ctx, &run, &cps, &iops, cp_inboxes, iop_inboxes, sched);
+            }
         }
-        Method::DiskDirected(sched) => {
-            ddio::spawn_transfer(sim, &ctx, &run, &cps, &iops, cp_inboxes, iop_inboxes, sched);
-        }
-    }
+        None
+    };
 
     let build_wall_secs = wall_start.elapsed().as_secs_f64();
     let run_wall_start = std::time::Instant::now();
@@ -669,7 +699,20 @@ pub fn run_transfer_in(
         verify_transfer(&run.pattern, &v)
     });
 
-    let transferred_bytes = run.pattern.total_transfer_bytes();
+    // A serving run transfers whatever its completed requests read; a
+    // collective transfer moves the pattern's bytes.
+    let serve_stats = serve_session
+        .as_ref()
+        .map(|s| s.stats(elapsed))
+        .unwrap_or_default();
+    let transferred_bytes = match &serve_session {
+        Some(s) => s.served_bytes(),
+        None => run.pattern.total_transfer_bytes(),
+    };
+    let measured_bytes = match &serve_session {
+        Some(s) => s.served_bytes(),
+        None => config.file_bytes,
+    };
     let cache_stats = run.cache_stats.borrow().clone();
     let fault_stats = FaultStats {
         events_fired: run.fault.schedule.events_fired(end),
@@ -695,7 +738,7 @@ pub fn run_transfer_in(
         file_bytes: config.file_bytes,
         transferred_bytes,
         throughput_mibs: if data_survived {
-            throughput_mibs(config.file_bytes, elapsed)
+            throughput_mibs(measured_bytes, elapsed)
         } else {
             0.0
         },
@@ -710,6 +753,7 @@ pub fn run_transfer_in(
         faults: config.faults,
         redundancy: config.redundancy,
         fault_stats,
+        serve: serve_stats,
         ni_send_utilization,
         ni_recv_utilization,
         link_stats: net.link_stats(),
@@ -989,6 +1033,107 @@ mod tests {
         // would for the same loss.
         assert!(outcome.fault_stats.reconstruction_reads >= 3);
         assert!(outcome.throughput_mibs > 0.0);
+    }
+
+    #[test]
+    fn default_composition_reports_empty_serve_stats() {
+        let outcome = run_transfer(
+            &tiny_config(),
+            Method::TC,
+            AccessPattern::parse("rb").unwrap(),
+            8192,
+            1,
+        );
+        assert_eq!(outcome.serve.requests, 0);
+        assert_eq!(outcome.serve.served_bytes, 0);
+        assert!(outcome.serve.p50_ms.is_nan(), "no requests, no percentile");
+        assert!(outcome.serve.p999_ms.is_nan());
+        assert!(outcome.serve.per_tenant.is_empty());
+    }
+
+    #[test]
+    fn open_loop_serving_completes_every_request() {
+        use crate::serve::{ArrivalProcess, ServeParams};
+        let mut config = tiny_config();
+        config.serve = ServeParams {
+            arrival: ArrivalProcess::Poisson,
+            tenants: 3,
+            requests_per_tenant: 16,
+            ..ServeParams::default()
+        };
+        for method in [Method::TC, Method::DDIO, Method::DDIO_SORTED] {
+            let outcome = run_transfer(
+                &config,
+                method,
+                AccessPattern::parse("rb").unwrap(),
+                8192,
+                5,
+            );
+            assert_eq!(outcome.serve.requests, 48, "{method:?} must serve all");
+            assert_eq!(outcome.serve.served_bytes, 48 * 8192);
+            assert_eq!(outcome.transferred_bytes, 48 * 8192);
+            assert!(outcome.serve.p50_ms > 0.0);
+            assert!(outcome.serve.p99_ms >= outcome.serve.p50_ms);
+            assert!(outcome.serve.p999_ms >= outcome.serve.p99_ms);
+            assert!(outcome.serve.max_ms >= outcome.serve.mean_ms);
+            assert!(outcome.serve.mean_queue_ms >= 0.0);
+            assert!(outcome.throughput_mibs > 0.0);
+            assert_eq!(outcome.serve.per_tenant.len(), 3);
+            let per_tenant_total: u64 = outcome.serve.per_tenant.iter().map(|t| t.requests).sum();
+            assert_eq!(per_tenant_total, 48);
+            assert!(outcome.serve.per_tenant.iter().all(|t| t.mibs > 0.0));
+        }
+    }
+
+    #[test]
+    fn serving_is_seed_deterministic() {
+        use crate::serve::{ArrivalProcess, QosPolicy, ServeParams};
+        let mut config = tiny_config();
+        config.serve = ServeParams {
+            arrival: ArrivalProcess::Bursty,
+            qos: QosPolicy::FairShare,
+            tenants: 2,
+            requests_per_tenant: 12,
+            ..ServeParams::default()
+        };
+        let run = |seed| {
+            run_transfer(
+                &config,
+                Method::DDIO_SORTED,
+                AccessPattern::parse("rb").unwrap(),
+                8192,
+                seed,
+            )
+        };
+        let a = run(9);
+        let b = run(9);
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.serve.p999_ms.to_bits(), b.serve.p999_ms.to_bits());
+        assert_eq!(
+            a.serve.mean_queue_ms.to_bits(),
+            b.serve.mean_queue_ms.to_bits()
+        );
+        let c = run(10);
+        assert_ne!(a.elapsed, c.elapsed, "a new seed must reshuffle arrivals");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support open-loop serving")]
+    fn verify_mode_rejects_open_loop_serving() {
+        use crate::serve::{ArrivalProcess, ServeParams};
+        let mut config = tiny_config();
+        config.verify = true;
+        config.serve = ServeParams {
+            arrival: ArrivalProcess::Poisson,
+            ..ServeParams::default()
+        };
+        run_transfer(
+            &config,
+            Method::TC,
+            AccessPattern::parse("rb").unwrap(),
+            8192,
+            1,
+        );
     }
 
     #[test]

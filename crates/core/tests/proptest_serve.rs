@@ -1,0 +1,183 @@
+//! Property-based tests of the serving subsystem's deterministic pieces:
+//! the arrival schedule is a pure function of the seed, the streaming
+//! log-bucket histogram tracks a naive sort-based percentile reference
+//! within its advertised relative error, and the fair-share admission queue
+//! never starves a tenant (every waiter is admitted within one bounded
+//! window of pops).
+
+use proptest::prelude::*;
+
+use ddio_core::{
+    AdmissionQueue, ArrivalProcess, LatencyHistogram, MachineConfig, QosPolicy, ServeConfig,
+    ServeParams,
+};
+use ddio_sim::SimRng;
+
+fn arb_config() -> impl Strategy<Value = MachineConfig> {
+    (
+        1usize..=8, // IOPs
+        1usize..=4, // disks per IOP
+        8u64..=64,  // file size in blocks
+    )
+        .prop_map(|(n_iops, per_iop, blocks)| MachineConfig {
+            n_cps: 4,
+            n_iops,
+            n_disks: n_iops * per_iop,
+            file_bytes: blocks * 8192,
+            ..MachineConfig::default()
+        })
+}
+
+fn arb_params() -> impl Strategy<Value = ServeParams> {
+    (
+        prop_oneof![Just(ArrivalProcess::Poisson), Just(ArrivalProcess::Bursty)],
+        prop_oneof![
+            Just(QosPolicy::Fifo),
+            Just(QosPolicy::FairShare),
+            Just(QosPolicy::Weighted),
+            Just(QosPolicy::TenantPriority),
+        ],
+        1usize..=6,   // tenants
+        1usize..=32,  // requests per tenant
+        1u64..=2_000, // offered load, permille
+    )
+        .prop_map(
+            |(arrival, qos, tenants, requests_per_tenant, load)| ServeParams {
+                arrival,
+                qos,
+                tenants,
+                requests_per_tenant,
+                offered_load: load as f64 / 1000.0,
+            },
+        )
+}
+
+/// The naive reference the histogram approximates: sort and take the
+/// nearest-rank order statistic.
+fn exact_percentile(sorted: &[u64], p: f64) -> u64 {
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The same seed reproduces the same arrival schedule, bit for bit, and
+    /// a different seed draws a different one (gaps are drawn from
+    /// continuous exponentials, so collision would mean the stream is
+    /// ignored).
+    #[test]
+    fn arrival_schedules_are_a_pure_function_of_the_seed(
+        config in arb_config(),
+        params in arb_params(),
+        seed in 0u64..10_000,
+    ) {
+        let a = ServeConfig::derive(&params, &config, &SimRng::seed_from_u64(seed));
+        let b = ServeConfig::derive(&params, &config, &SimRng::seed_from_u64(seed));
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.requests.len(), params.tenants * params.requests_per_tenant);
+        let c = ServeConfig::derive(&params, &config, &SimRng::seed_from_u64(seed + 1));
+        prop_assert_ne!(a, c);
+    }
+
+    /// Every derived schedule is well-formed: sorted by arrival time, every
+    /// tenant contributes exactly its quota, and every block is within the
+    /// file.
+    #[test]
+    fn arrival_schedules_are_sorted_and_complete(
+        config in arb_config(),
+        params in arb_params(),
+        seed in 0u64..10_000,
+    ) {
+        let schedule = ServeConfig::derive(&params, &config, &SimRng::seed_from_u64(seed));
+        prop_assert!(schedule.is_active());
+        let blocks = config.file_bytes / config.block_bytes;
+        for w in schedule.requests.windows(2) {
+            prop_assert!(w[0].arrival <= w[1].arrival);
+        }
+        for r in &schedule.requests {
+            prop_assert!(r.tenant < params.tenants);
+            prop_assert!(r.block < blocks);
+        }
+        for tenant in 0..params.tenants {
+            let n = schedule.requests.iter().filter(|r| r.tenant == tenant).count();
+            prop_assert_eq!(n, params.requests_per_tenant, "tenant {} quota", tenant);
+        }
+    }
+
+    /// The streaming histogram's percentiles track the naive sort-based
+    /// reference within the advertised relative error at every probed
+    /// percentile, and count/mean/max are exact.
+    #[test]
+    fn histogram_matches_the_sort_based_reference(
+        samples in prop::collection::vec(0u64..=10_000_000_000, 1..200),
+    ) {
+        let mut hist = LatencyHistogram::new();
+        for &v in &samples {
+            hist.record(v);
+        }
+        let mut values = samples;
+        values.sort_unstable();
+        prop_assert_eq!(hist.count(), values.len() as u64);
+        let sum: u64 = values.iter().sum();
+        prop_assert_eq!(hist.mean(), sum as f64 / values.len() as f64);
+        prop_assert_eq!(hist.max_value(), *values.last().unwrap() as f64);
+        for p in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let exact = exact_percentile(&values, p) as f64;
+            let approx = hist.percentile(p);
+            let tolerance = exact * LatencyHistogram::RELATIVE_ERROR;
+            prop_assert!(
+                (approx - exact).abs() <= tolerance,
+                "p{}: histogram {} vs exact {} (tolerance {})",
+                p, approx, exact, tolerance
+            );
+        }
+    }
+
+    /// Fair-share admission is starvation-free: once a tenant has a waiting
+    /// request, it is admitted within the next `tenants` pops no matter how
+    /// hard the other tenants push.
+    #[test]
+    fn fair_share_admits_every_waiter_within_one_round(
+        tenants in 2usize..=6,
+        pushes in prop::collection::vec((0usize..6, 1usize..5), 1..40),
+    ) {
+        let mut q = AdmissionQueue::new(QosPolicy::FairShare, tenants);
+        let mut id = 0u64;
+        // Per-tenant: queued request count and the pop-clock at which its
+        // oldest unadmitted request started waiting.
+        let mut queued = vec![0u64; tenants];
+        let mut waiting_since: Vec<Option<u64>> = vec![None; tenants];
+        let mut pops = 0u64;
+        for (tenant, burst) in pushes {
+            let tenant = tenant % tenants;
+            for _ in 0..burst {
+                q.push(tenant, id);
+                queued[tenant] += 1;
+                waiting_since[tenant].get_or_insert(pops);
+                id += 1;
+            }
+            // Drain one round's worth after every burst.
+            for _ in 0..tenants {
+                let Some((admitted, _)) = q.pop() else { break };
+                pops += 1;
+                queued[admitted] -= 1;
+                // The round-robin cursor bounds every wait by one full
+                // round: no waiting tenant — including the one admitted
+                // just now — sits for more than `tenants` pops.
+                for (t, since) in waiting_since.iter().enumerate() {
+                    if let Some(s) = since {
+                        prop_assert!(
+                            pops - s <= tenants as u64,
+                            "tenant {} waited {} pops (bound {})",
+                            t, pops - s, tenants
+                        );
+                    }
+                }
+                // The admitted tenant's next-oldest request (if any) starts
+                // its own wait now.
+                waiting_since[admitted] = (queued[admitted] > 0).then_some(pops);
+            }
+        }
+    }
+}

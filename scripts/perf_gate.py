@@ -13,6 +13,11 @@ committed BENCH_PR*.json baseline:
     count is deterministic at a given smoke scale, so a mismatch means the
     workload changed and the committed BENCH_PR*.json needs re-recording, not
     that performance moved.
+  * --ignore-scenarios NAME[,NAME...] subtracts the named scenarios' per-cell
+    sim_events from the fresh totals before the stale-baseline WARN, so a PR
+    that adds a scenario can keep comparing against the pre-existing baseline
+    until it is re-recorded. Requires the fresh report to carry per-cell perf
+    objects (run with --perf).
 
 Usage:
   python3 scripts/perf_gate.py --baseline BENCH_PR8.json --fresh BENCH_RUN.json
@@ -23,20 +28,46 @@ import json
 import sys
 
 
-def load_perf(path):
+def load_doc(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def load_perf(path, doc):
     """Extract {sim_events, events_per_sec} from either file shape.
 
     The committed baseline nests the figures under run_all_smoke.after_perf;
     a fresh `--perf` report carries them at the top level under "perf".
     """
-    with open(path) as f:
-        doc = json.load(f)
     if "perf" in doc:
         return doc["perf"]
     try:
         return doc["run_all_smoke"]["after_perf"]
     except KeyError:
         sys.exit(f"perf_gate: {path}: no 'perf' or 'run_all_smoke.after_perf' key")
+
+
+def ignored_events(path, doc, names):
+    """Sum per-cell sim_events of the scenarios named in `names`.
+
+    Only a fresh `--perf` report carries `scenarios[].cells[].perf`; refusing
+    to silently ignore a typo, unknown names and perf-less reports are fatal.
+    """
+    if not names:
+        return 0
+    scenarios = {s["name"]: s for s in doc.get("scenarios", [])}
+    total = 0
+    for name in names:
+        if name not in scenarios:
+            sys.exit(f"perf_gate: {path}: no scenario {name!r} to ignore")
+        for cell in scenarios[name]["cells"]:
+            if "perf" not in cell:
+                sys.exit(
+                    f"perf_gate: {path}: scenario {name!r} has no per-cell "
+                    f"perf objects (re-run with --perf)"
+                )
+            total += int(cell["perf"]["sim_events"])
+    return total
 
 
 def main():
@@ -49,10 +80,29 @@ def main():
         default=0.30,
         help="max fractional events/sec regression before hard fail (default 0.30)",
     )
+    ap.add_argument(
+        "--ignore-scenarios",
+        default="",
+        help="comma-separated scenario names whose per-cell sim_events are "
+        "subtracted from the fresh totals before the stale-baseline check "
+        "(for PRs that add a scenario the committed baseline predates)",
+    )
     args = ap.parse_args()
 
-    base = load_perf(args.baseline)
-    fresh = load_perf(args.fresh)
+    base_doc = load_doc(args.baseline)
+    fresh_doc = load_doc(args.fresh)
+    base = load_perf(args.baseline, base_doc)
+    fresh = load_perf(args.fresh, fresh_doc)
+
+    ignored = [s for s in args.ignore_scenarios.split(",") if s]
+    fresh_events = int(fresh["sim_events"])
+    skipped = ignored_events(args.fresh, fresh_doc, ignored)
+    if skipped:
+        fresh_events -= skipped
+        print(
+            f"perf_gate: ignoring {skipped:,} sim_events from "
+            f"{','.join(ignored)} (baseline predates them)"
+        )
 
     base_eps = float(base["events_per_sec"])
     fresh_eps = float(fresh["events_per_sec"])
@@ -63,10 +113,10 @@ def main():
         f"fresh {fresh_eps:,.0f} ev/s ({args.fresh}), ratio {ratio:.3f}"
     )
 
-    if fresh["sim_events"] != base["sim_events"]:
+    if fresh_events != base["sim_events"]:
         print(
             f"perf_gate: WARN sim_events changed "
-            f"{base['sim_events']:,} -> {fresh['sim_events']:,}; the workload "
+            f"{base['sim_events']:,} -> {fresh_events:,}; the workload "
             f"moved — re-record {args.baseline} (events/sec comparison below "
             f"is across different workloads)"
         )

@@ -11,8 +11,9 @@
 //!   Memput/Memget-style DMA messages.
 //! * [`patterns`] — HPF array-distribution access patterns.
 //! * [`core`] — the parallel file system: traditional caching, disk-directed
-//!   I/O, the collective API, fault injection with redundant layouts, and
-//!   the experiment harness.
+//!   I/O, the collective API, fault injection with redundant layouts,
+//!   open-loop multi-tenant serving with QoS admission and tail-latency
+//!   histograms, and the experiment harness.
 //!
 //! The most common entry points are re-exported at the top level:
 //!
@@ -44,10 +45,11 @@ pub use ddio_patterns as patterns;
 pub use ddio_sim as sim;
 
 pub use ddio_core::{
-    run_transfer, AccessKind, AccessPattern, ArrayShape, CacheConfig, CacheFilter, CacheParams,
-    CacheSet, CacheStats, Chunk, CollectiveError, CollectiveFile, ContentionModel, ContentionSet,
-    CostModel, Dist, FaultConfig, FaultPolicy, FaultSet, FaultStats, FileLayout, LayoutPolicy,
-    LinkStat, MachineConfig, Method, NetConfig, PatternInstance, PrefetchPolicy, RedundancyPolicy,
-    RedundancySet, ReplacementPolicy, SchedPolicy, SchedSet, TopologyKind, TopologySet,
-    TransferOutcome, WritePolicy,
+    run_transfer, AccessKind, AccessPattern, ArrayShape, ArrivalProcess, ArrivalSet, CacheConfig,
+    CacheFilter, CacheParams, CacheSet, CacheStats, Chunk, CollectiveError, CollectiveFile,
+    ContentionModel, ContentionSet, CostModel, Dist, FaultConfig, FaultPolicy, FaultSet,
+    FaultStats, FileLayout, LatencyHistogram, LayoutPolicy, LinkStat, MachineConfig, Method,
+    NetConfig, PatternInstance, PrefetchPolicy, QosPolicy, QosSet, RedundancyPolicy, RedundancySet,
+    ReplacementPolicy, SchedPolicy, SchedSet, ServeConfig, ServeParams, ServeStats, TenantStats,
+    TopologyKind, TopologySet, TransferOutcome, WritePolicy,
 };

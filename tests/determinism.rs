@@ -26,15 +26,22 @@ fn reduced_params() -> SweepParams {
 }
 
 /// Every trial of every cell, as exact bit patterns (no float tolerance:
-/// determinism means *identical*, not *close*).
+/// determinism means *identical*, not *close*). The serving tail latencies
+/// ride along so `serve-sweep`'s p999 is held to the same standard as
+/// throughput (NaN under closed-loop compositions has a fixed bit pattern).
 fn trial_bits(results: &[CellResult]) -> Vec<(String, String, Vec<u64>)> {
     results
         .iter()
         .map(|r| {
+            let mut bits: Vec<u64> = r.point.trials.iter().map(|t| t.to_bits()).collect();
+            let serve = &r.point.last_outcome.serve;
+            bits.push(serve.p50_ms.to_bits());
+            bits.push(serve.p999_ms.to_bits());
+            bits.push(serve.mean_queue_ms.to_bits());
             (
                 r.point.pattern.clone(),
                 r.point.method.label().to_owned(),
-                r.point.trials.iter().map(|t| t.to_bits()).collect(),
+                bits,
             )
         })
         .collect()
@@ -43,7 +50,7 @@ fn trial_bits(results: &[CellResult]) -> Vec<(String, String, Vec<u64>)> {
 #[test]
 fn jobs_1_and_jobs_8_are_bit_identical_across_invocations() {
     let params = reduced_params();
-    for name in ["mixed-rw", "record-cp-cross", "fault-sweep"] {
+    for name in ["mixed-rw", "record-cp-cross", "fault-sweep", "serve-sweep"] {
         let scenario = find(name).expect("registered scenario");
         let serial_a = trial_bits(&run_scenario(&scenario, &params, 1));
         let serial_b = trial_bits(&run_scenario(&scenario, &params, 1));
